@@ -1,0 +1,78 @@
+//! §III-B / §V ablation benches: cost decomposition, RTS/CTS, EIFS and
+//! ACK-loss failure injection.
+
+use contention_bench::{mac_median, mac_trial, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::model::Decomposition;
+use contention_core::params::Phy80211g;
+use contention_core::time::Nanos;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Decomposition lower bound holds against the measured total.
+    let n = 100;
+    let run = mac_trial("decomp-bench", &MacConfig::paper(AlgorithmKind::Beb, 64), n, 0);
+    let d = Decomposition::from_measurements(
+        &Phy80211g::paper_defaults(),
+        64,
+        run.metrics.collisions,
+        run.metrics.max_ack_timeout_time(),
+        run.metrics.cw_slots,
+    );
+    shape_check(
+        "decomp lower bound ≤ total",
+        d.lower_bound() <= run.metrics.total_time,
+        &format!("bound {} vs total {}", d.lower_bound(), run.metrics.total_time),
+    );
+    // EIFS ablation: disabling EIFS must reduce total time (collisions get
+    // cheaper for bystanders).
+    let mut no_eifs = MacConfig::paper(AlgorithmKind::LogBackoff, 64);
+    no_eifs.use_eifs = false;
+    let with_eifs = MacConfig::paper(AlgorithmKind::LogBackoff, 64);
+    let t_no = mac_median("eifs-bench", &no_eifs, n, 7, |r| r.metrics.total_time.as_micros_f64());
+    let t_yes =
+        mac_median("eifs-bench", &with_eifs, n, 7, |r| r.metrics.total_time.as_micros_f64());
+    shape_check(
+        "eifs ablation direction",
+        t_no < t_yes,
+        &format!("no-EIFS {t_no:.0}µs < EIFS {t_yes:.0}µs"),
+    );
+
+    let mut group = c.benchmark_group("decomp_rtscts_ablations");
+    // RTS/CTS on vs off.
+    for rts in [false, true] {
+        let mut config = MacConfig::paper(AlgorithmKind::Beb, 1024);
+        config.rts_cts = rts;
+        let mut trial = 0u32;
+        group.bench_function(if rts { "rts_on_1024" } else { "rts_off_1024" }, |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("rts-bench", &config, 60, trial).metrics.total_time
+            })
+        });
+    }
+    // ACK-loss failure injection.
+    let mut lossy = MacConfig::paper(AlgorithmKind::Beb, 64);
+    lossy.ack_loss_prob = 0.05;
+    lossy.max_sim_time = Nanos::from_millis(5_000);
+    let mut trial = 0u32;
+    group.bench_function("ack_loss_5pct", |b| {
+        b.iter(|| {
+            trial = trial.wrapping_add(1);
+            mac_trial("loss-bench", &lossy, 60, trial).metrics.total_time
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

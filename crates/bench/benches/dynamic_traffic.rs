@@ -1,0 +1,63 @@
+//! §VIII-extension bench: the dynamic (long-lived bursty traffic) simulator.
+
+use contention_bench::shape_check;
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::rng::{experiment_tag, trial_rng};
+use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn run_once(config: DynamicConfig, trial: u32) -> contention_slotted::dynamic::DynamicMetrics {
+    let mut sim = DynamicSim::new(config);
+    let mut rng = trial_rng(experiment_tag("dyn-bench"), config.algorithm, 0, trial);
+    sim.run(&mut rng)
+}
+
+fn bench(c: &mut Criterion) {
+    let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0008, size: 50 };
+    // Shape check: 802.11g costs amplify LB's latency deficit vs BEB.
+    let lat = |alg: AlgorithmKind, mac: bool| {
+        let config = if mac {
+            DynamicConfig::mac_costs(alg, arrivals, 64)
+        } else {
+            DynamicConfig::abstract_model(alg, arrivals)
+        };
+        let mut xs: Vec<f64> = (0..5).map(|t| run_once(config, t).mean_latency).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs[2]
+    };
+    let gap_a2 = lat(AlgorithmKind::LogBackoff, false) / lat(AlgorithmKind::Beb, false);
+    let gap_mac = lat(AlgorithmKind::LogBackoff, true) / lat(AlgorithmKind::Beb, true);
+    shape_check(
+        "dynamic traffic collision-cost amplification",
+        gap_mac > gap_a2 && gap_mac > 1.0,
+        &format!("LB/BEB latency ratio: {gap_a2:.2} under A2, {gap_mac:.2} under 802.11g costs"),
+    );
+
+    let mut group = c.benchmark_group("dynamic_traffic");
+    for (name, mac) in [("a2_costs", false), ("mac_costs", true)] {
+        let config = if mac {
+            DynamicConfig::mac_costs(AlgorithmKind::Beb, arrivals, 64)
+        } else {
+            DynamicConfig::abstract_model(AlgorithmKind::Beb, arrivals)
+        };
+        let mut trial = 0u32;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                run_once(config, trial).completed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 3 bench: CW slots in the MAC simulator, 64 B payload.
+//!
+//! Measures per-trial simulator cost for each algorithm at n = 60 and
+//! shape-checks Result 1 (every challenger needs fewer CW slots than BEB).
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Shape check once per process (Result 1 at n = 100).
+    let cw = |alg: AlgorithmKind| {
+        mac_median("fig3-bench", &MacConfig::paper(alg, 64), 100, 7, |r| {
+            r.metrics.cw_slots as f64
+        })
+    };
+    let beb = cw(AlgorithmKind::Beb);
+    let stb = cw(AlgorithmKind::Sawtooth);
+    let lb = cw(AlgorithmKind::LogBackoff);
+    shape_check(
+        "fig3 CW-slot ordering",
+        stb < beb && lb < beb,
+        &format!("BEB {beb:.0}, LB {lb:.0}, STB {stb:.0}"),
+    );
+
+    let mut group = c.benchmark_group("fig03_cw_slots_mac_64");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 64);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("fig3-bench", &config, 60, trial).metrics.cw_slots
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 bench: CW slots in the MAC simulator, 1024 B payload.
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cw = |alg: AlgorithmKind| {
+        mac_median("fig4-bench", &MacConfig::paper(alg, 1024), 100, 7, |r| {
+            r.metrics.cw_slots as f64
+        })
+    };
+    let beb = cw(AlgorithmKind::Beb);
+    let stb = cw(AlgorithmKind::Sawtooth);
+    shape_check(
+        "fig4 CW-slot ordering (1024 B)",
+        stb < beb,
+        &format!("BEB {beb:.0}, STB {stb:.0}"),
+    );
+
+    let mut group = c.benchmark_group("fig04_cw_slots_mac_1024");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 1024);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("fig4-bench", &config, 60, trial).metrics.cw_slots
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

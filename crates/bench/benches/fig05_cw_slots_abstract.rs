@@ -1,0 +1,57 @@
+//! Figure 5 bench: the abstract (A0–A2) simulator's CW slots.
+//!
+//! Also exercises the scaling the "Java simulation" needs for Figures 15–16
+//! by benching one large-n configuration.
+
+use contention_bench::{abstract_median, abstract_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_slotted::windowed::WindowedConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cw = |alg: AlgorithmKind| {
+        abstract_median("fig5-bench", WindowedConfig::abstract_model(alg), 150, 9, |m| {
+            m.cw_slots as f64
+        })
+    };
+    let beb = cw(AlgorithmKind::Beb);
+    let stb = cw(AlgorithmKind::Sawtooth);
+    shape_check(
+        "fig5 abstract CW-slot separation",
+        stb < beb,
+        &format!("BEB {beb:.0}, STB {stb:.0}"),
+    );
+
+    let mut group = c.benchmark_group("fig05_cw_slots_abstract");
+    for alg in paper_algorithms() {
+        let config = WindowedConfig::abstract_model(alg);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                abstract_trial("fig5-bench", config, 150, trial).cw_slots
+            })
+        });
+    }
+    // Large-n single point (the Fig 15/16 regime).
+    let config = WindowedConfig::abstract_model(AlgorithmKind::Beb);
+    let mut trial = 0u32;
+    group.bench_function("BEB_n20000", |b| {
+        b.iter(|| {
+            trial = trial.wrapping_add(1);
+            abstract_trial("fig5-bench-large", config, 20_000, trial).cw_slots
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 6 bench: CW slots to finish the first n/2 packets.
+
+use contention_bench::{mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Shape check: for BEB, the remaining n/2 packets account for the bulk
+    // of the CW slots (the paper's "straggler" observation).
+    let run = mac_trial("fig6-bench", &MacConfig::paper(AlgorithmKind::Beb, 64), 100, 0);
+    let half = run.metrics.half_cw_slots as f64;
+    let full = run.metrics.cw_slots as f64;
+    shape_check(
+        "fig6 stragglers dominate BEB's CW slots",
+        half < full / 2.0,
+        &format!("half {half:.0} vs full {full:.0}"),
+    );
+
+    let mut group = c.benchmark_group("fig06_half_cw_slots");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 64);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                let r = mac_trial("fig6-bench", &config, 60, trial);
+                (r.metrics.half_cw_slots, r.metrics.cw_slots)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7 bench: total time, 64 B payload — the paper's headline reversal.
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Result 2: BEB beats the CW-slot winners on *total time*.
+    let tt = |alg: AlgorithmKind| {
+        mac_median("fig7-bench", &MacConfig::paper(alg, 64), 100, 9, |r| {
+            r.metrics.total_time.as_micros_f64()
+        })
+    };
+    let beb = tt(AlgorithmKind::Beb);
+    let stb = tt(AlgorithmKind::Sawtooth);
+    let lb = tt(AlgorithmKind::LogBackoff);
+    shape_check(
+        "fig7 total-time reversal",
+        beb < stb && beb < lb,
+        &format!("BEB {beb:.0}µs, LB {lb:.0}µs, STB {stb:.0}µs"),
+    );
+
+    let mut group = c.benchmark_group("fig07_total_time_64");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 64);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("fig7-bench", &config, 60, trial).metrics.total_time
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 8 bench: total time, 1024 B payload — larger packets widen
+//! BEB's lead.
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let gap = |payload: u32| {
+        let tt = |alg: AlgorithmKind| {
+            mac_median("fig8-bench", &MacConfig::paper(alg, payload), 100, 9, |r| {
+                r.metrics.total_time.as_micros_f64()
+            })
+        };
+        (tt(AlgorithmKind::Sawtooth) - tt(AlgorithmKind::Beb)) / tt(AlgorithmKind::Beb)
+    };
+    let small = gap(64);
+    let large = gap(1024);
+    shape_check(
+        "fig8 payload size widens the reversal",
+        large > small && large > 0.0,
+        &format!("STB-vs-BEB gap: {:.1}% at 64B, {:.1}% at 1024B", small * 100.0, large * 100.0),
+    );
+
+    let mut group = c.benchmark_group("fig08_total_time_1024");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 1024);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("fig8-bench", &config, 60, trial).metrics.total_time
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figures 9–10 bench: time until n/2 packets complete (64 B and 1024 B).
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Stragglers are not the explanation: BEB leads on the first half too.
+    let ht = |alg: AlgorithmKind| {
+        mac_median("fig9-bench", &MacConfig::paper(alg, 64), 100, 9, |r| {
+            r.metrics.half_time.as_micros_f64()
+        })
+    };
+    let beb = ht(AlgorithmKind::Beb);
+    let stb = ht(AlgorithmKind::Sawtooth);
+    shape_check(
+        "fig9 BEB leads on the first n/2 packets",
+        beb < stb,
+        &format!("BEB {beb:.0}µs vs STB {stb:.0}µs"),
+    );
+
+    for (name, payload) in [("fig09_half_time_64", 64u32), ("fig10_half_time_1024", 1024)] {
+        let mut group = c.benchmark_group(name);
+        for alg in paper_algorithms() {
+            let config = MacConfig::paper(alg, payload);
+            let mut trial = 0u32;
+            group.bench_function(alg.label(), |b| {
+                b.iter(|| {
+                    trial = trial.wrapping_add(1);
+                    mac_trial("fig9-bench", &config, 60, trial).metrics.half_time
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

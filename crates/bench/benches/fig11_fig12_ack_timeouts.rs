@@ -1,0 +1,48 @@
+//! Figures 11–12 bench: per-station ACK-timeout diagnostics.
+
+use contention_bench::{mac_median, mac_trial, paper_algorithms, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // The §III-B hint: BEB suffers the fewest worst-station ACK timeouts.
+    let max_to = |alg: AlgorithmKind| {
+        mac_median("fig11-bench", &MacConfig::paper(alg, 64), 100, 9, |r| {
+            r.metrics.max_ack_timeouts() as f64
+        })
+    };
+    let beb = max_to(AlgorithmKind::Beb);
+    let stb = max_to(AlgorithmKind::Sawtooth);
+    let lb = max_to(AlgorithmKind::LogBackoff);
+    shape_check(
+        "fig11 BEB has fewest max ACK timeouts",
+        beb <= stb && beb <= lb,
+        &format!("BEB {beb:.0}, LB {lb:.0}, STB {stb:.0}"),
+    );
+
+    let mut group = c.benchmark_group("fig11_fig12_ack_timeouts");
+    for alg in paper_algorithms() {
+        let config = MacConfig::paper(alg, 64);
+        let mut trial = 0u32;
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                let r = mac_trial("fig11-bench", &config, 60, trial);
+                (r.metrics.max_ack_timeouts(), r.metrics.max_ack_timeout_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 13 bench: execution-trace capture and rendering.
+
+use contention_bench::{mac_trial, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
+    config.capture_trace = true;
+    let run = mac_trial("fig13-bench", &config, 20, 0);
+    let trace = run.trace.as_ref().expect("trace requested");
+    shape_check(
+        "fig13 trace consistency",
+        trace.first_overlap().is_none() && run.probe_corruptions == 0,
+        &format!("{} spans, horizon {}", trace.spans.len(), trace.horizon()),
+    );
+
+    let mut group = c.benchmark_group("fig13_trace");
+    let mut trial = 0u32;
+    group.bench_function("simulate_with_trace_n20", |b| {
+        b.iter(|| {
+            trial = trial.wrapping_add(1);
+            mac_trial("fig13-bench", &config, 20, trial).trace.map(|t| t.spans.len())
+        })
+    });
+    let fixed = mac_trial("fig13-bench", &config, 20, 1).trace.expect("trace");
+    group.bench_function("render_ascii_120", |b| b.iter(|| fixed.render_ascii(120).len()));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 14 bench: the payload sweep and OLS regression behind the
+//! "+700 µs per 100 B" result.
+
+use contention_bench::{mac_trial, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use contention_stats::regression::linear_fit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Shape check: the LLB − BEB difference grows with payload size. The
+    // bench grid is deliberately small (n = 150, 8 paired trials per size),
+    // so the significance bar is looser than the paper's p < 0.001 — the
+    // strict test runs on the full grid via `repro fig14 --full` and the
+    // integration suite.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for payload in [100u32, 400, 700, 1000] {
+        for trial in 0..8 {
+            let llb = mac_trial(
+                "fig14-bench",
+                &MacConfig::paper(AlgorithmKind::LogLogBackoff, payload),
+                150,
+                trial,
+            );
+            let beb =
+                mac_trial("fig14-bench", &MacConfig::paper(AlgorithmKind::Beb, payload), 150, trial);
+            xs.push(payload as f64);
+            ys.push(
+                llb.metrics.total_time.as_micros_f64() - beb.metrics.total_time.as_micros_f64(),
+            );
+        }
+    }
+    let fit = linear_fit(&xs, &ys);
+    shape_check(
+        "fig14 positive slope",
+        fit.slope > 0.0 && fit.p_value < 0.2,
+        &format!("slope {:.2} µs/B, p {:.2e}", fit.slope, fit.p_value),
+    );
+
+    let mut group = c.benchmark_group("fig14_payload_regression");
+    let mut trial = 0u32;
+    group.bench_function("one_paired_diff_700B", |b| {
+        b.iter(|| {
+            trial = trial.wrapping_add(1);
+            let llb = mac_trial(
+                "fig14-bench2",
+                &MacConfig::paper(AlgorithmKind::LogLogBackoff, 700),
+                60,
+                trial,
+            );
+            let beb =
+                mac_trial("fig14-bench2", &MacConfig::paper(AlgorithmKind::Beb, 700), 60, trial);
+            llb.metrics.total_time.as_nanos() as i64 - beb.metrics.total_time.as_nanos() as i64
+        })
+    });
+    group.bench_function("ols_fit_24_points", |b| b.iter(|| linear_fit(&xs, &ys).slope));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

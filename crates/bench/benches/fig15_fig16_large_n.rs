@@ -1,0 +1,65 @@
+//! Figures 15–16 bench: the abstract simulator at large n, where the
+//! asymptotics of Tables II and III become visible.
+
+use contention_bench::{abstract_median, abstract_trial, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_slotted::windowed::WindowedConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 20_000;
+    let med = |alg: AlgorithmKind, f: fn(&contention_core::metrics::BatchMetrics) -> f64| {
+        abstract_median("fig15-bench", WindowedConfig::abstract_model(alg), n, 5, f)
+    };
+    // Fig 15: STB has the fewest CW slots and BEB the most. LLB only
+    // overtakes LB near n = 10⁵ (see `repro fig15 --full` and §V-A(i)); at
+    // this bench's n = 2·10⁴ the two must merely be neck and neck.
+    let cw_stb = med(AlgorithmKind::Sawtooth, |m| m.cw_slots as f64);
+    let cw_llb = med(AlgorithmKind::LogLogBackoff, |m| m.cw_slots as f64);
+    let cw_lb = med(AlgorithmKind::LogBackoff, |m| m.cw_slots as f64);
+    let cw_beb = med(AlgorithmKind::Beb, |m| m.cw_slots as f64);
+    shape_check(
+        "fig15 large-n CW ordering",
+        cw_stb < cw_llb.min(cw_lb)
+            && cw_llb.max(cw_lb) < cw_beb
+            && cw_llb < cw_lb * 1.10,
+        &format!("STB {cw_stb:.0}, LLB {cw_llb:.0}, LB {cw_lb:.0}, BEB {cw_beb:.0}"),
+    );
+    // Fig 16: LB's collisions exceed STB's; BEB's stay below STB's.
+    let col_lb = med(AlgorithmKind::LogBackoff, |m| m.collisions as f64);
+    let col_stb = med(AlgorithmKind::Sawtooth, |m| m.collisions as f64);
+    let col_beb = med(AlgorithmKind::Beb, |m| m.collisions as f64);
+    shape_check(
+        "fig16 collision ratios",
+        col_lb / col_stb > 1.0 && col_beb / col_stb < 1.0,
+        &format!(
+            "LB/STB {:.2}, BEB/STB {:.2}",
+            col_lb / col_stb,
+            col_beb / col_stb
+        ),
+    );
+
+    let mut group = c.benchmark_group("fig15_fig16_large_n");
+    for alg in [AlgorithmKind::Beb, AlgorithmKind::Sawtooth] {
+        let config = WindowedConfig::abstract_model(alg);
+        let mut trial = 0u32;
+        group.bench_function(format!("{}_n20000", alg.label()), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                abstract_trial("fig15-bench2", config, n, trial).collisions
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

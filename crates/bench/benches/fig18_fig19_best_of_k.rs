@@ -1,0 +1,61 @@
+//! Figures 18–19 bench: the BEST-OF-k size-estimation algorithm.
+
+use contention_bench::{mac_median, mac_trial, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 100;
+    // Fig 18: estimates respect the underestimate bound.
+    let run = mac_trial(
+        "fig18-bench",
+        &MacConfig::paper(AlgorithmKind::BestOfK { k: 5 }, 64),
+        n,
+        0,
+    );
+    let min_estimate = run.estimates.iter().flatten().min().copied().unwrap_or(0);
+    shape_check(
+        "fig18 estimates never collapse",
+        min_estimate >= n / 2,
+        &format!("min estimate {min_estimate} for n = {n}"),
+    );
+    // Fig 19: Best-of-k beats BEB on total time.
+    let tt = |alg: AlgorithmKind| {
+        mac_median("fig19-bench", &MacConfig::paper(alg, 64), n, 7, |r| {
+            r.metrics.total_time.as_micros_f64()
+        })
+    };
+    let beb = tt(AlgorithmKind::Beb);
+    let bok3 = tt(AlgorithmKind::BestOfK { k: 3 });
+    let bok5 = tt(AlgorithmKind::BestOfK { k: 5 });
+    shape_check(
+        "fig19 Best-of-k beats BEB",
+        bok3 < beb && bok5 < beb,
+        &format!("BEB {beb:.0}µs, Best-of-3 {bok3:.0}µs, Best-of-5 {bok5:.0}µs"),
+    );
+
+    let mut group = c.benchmark_group("fig18_fig19_best_of_k");
+    for k in [3u32, 5] {
+        let config = MacConfig::paper(AlgorithmKind::BestOfK { k }, 64);
+        let mut trial = 0u32;
+        group.bench_function(format!("best_of_{k}_n100"), |b| {
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                mac_trial("fig19-bench2", &config, n, trial).metrics.total_time
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Tables II–III bench: measured growth against the closed-form bounds.
+
+use contention_bench::{abstract_median, shape_check};
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::bounds::{collisions_bound, cw_slots_bound};
+use contention_slotted::windowed::WindowedConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn ratio_flatness(
+    alg: AlgorithmKind,
+    bound: fn(AlgorithmKind, u64) -> f64,
+    metric: fn(&contention_core::metrics::BatchMetrics) -> f64,
+) -> f64 {
+    let ratios: Vec<f64> = [800u32, 1_600, 3_200, 6_400]
+        .iter()
+        .map(|&n| {
+            let measured =
+                abstract_median("growth-bench", WindowedConfig::abstract_model(alg), n, 5, metric);
+            measured / bound(alg, n as u64)
+        })
+        .collect();
+    ratios.iter().cloned().fold(f64::MIN, f64::max)
+        / ratios.iter().cloned().fold(f64::MAX, f64::min)
+}
+
+fn bench(c: &mut Criterion) {
+    // Table II: STB's Θ(n) CW-slot bound must track measurement tightly.
+    let flat_stb = ratio_flatness(AlgorithmKind::Sawtooth, cw_slots_bound, |m| m.cw_slots as f64);
+    shape_check(
+        "table2 STB CW growth is linear",
+        flat_stb < 1.3,
+        &format!("flatness {flat_stb:.2}"),
+    );
+    // Table III: BEB's O(n) collision bound likewise.
+    let flat_beb = ratio_flatness(AlgorithmKind::Beb, collisions_bound, |m| m.collisions as f64);
+    shape_check(
+        "table3 BEB collision growth is linear",
+        flat_beb < 1.4,
+        &format!("flatness {flat_beb:.2}"),
+    );
+
+    let mut group = c.benchmark_group("table2_table3_growth");
+    group.bench_function("growth_point_beb_n3200", |b| {
+        let mut trial = 0u32;
+        b.iter(|| {
+            trial = trial.wrapping_add(1);
+            contention_bench::abstract_trial(
+                "growth-bench2",
+                WindowedConfig::abstract_model(AlgorithmKind::Beb),
+                3_200,
+                trial,
+            )
+            .collisions
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

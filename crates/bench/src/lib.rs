@@ -1,0 +1,110 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench target corresponds to one table/figure of the paper (see
+//! DESIGN.md's per-experiment index). Criterion measures the *simulator's*
+//! runtime on a scaled-down version of the experiment; each bench also runs
+//! a once-per-process shape check so `cargo bench` doubles as a smoke test
+//! of the reproduction. The `repro` binary is the tool that prints the
+//! paper's actual rows/series.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::rng::{experiment_tag, trial_rng};
+use contention_mac::{simulate, MacConfig, MacRun};
+use contention_slotted::windowed::{WindowedConfig, WindowedSim};
+
+/// One MAC trial with a deterministic per-(alg, n, trial) stream.
+pub fn mac_trial(experiment: &str, config: &MacConfig, n: u32, trial: u32) -> MacRun {
+    let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, n, trial);
+    simulate(config, n, &mut rng)
+}
+
+/// Median of a metric over `trials` MAC runs.
+pub fn mac_median(
+    experiment: &str,
+    config: &MacConfig,
+    n: u32,
+    trials: u32,
+    metric: impl Fn(&MacRun) -> f64,
+) -> f64 {
+    let mut xs: Vec<f64> = (0..trials)
+        .map(|t| metric(&mac_trial(experiment, config, n, t)))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    xs[xs.len() / 2]
+}
+
+/// One abstract-simulator trial.
+pub fn abstract_trial(
+    experiment: &str,
+    config: WindowedConfig,
+    n: u32,
+    trial: u32,
+) -> contention_core::metrics::BatchMetrics {
+    let mut sim = WindowedSim::new(config);
+    let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, n, trial);
+    sim.run(n, &mut rng)
+}
+
+/// Median of a metric over `trials` abstract runs.
+pub fn abstract_median(
+    experiment: &str,
+    config: WindowedConfig,
+    n: u32,
+    trials: u32,
+    metric: impl Fn(&contention_core::metrics::BatchMetrics) -> f64,
+) -> f64 {
+    let mut xs: Vec<f64> = (0..trials)
+        .map(|t| metric(&abstract_trial(experiment, config, n, t)))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    xs[xs.len() / 2]
+}
+
+/// The paper's four algorithms, for iteration in benches.
+pub fn paper_algorithms() -> [AlgorithmKind; 4] {
+    AlgorithmKind::PAPER_SET
+}
+
+/// Prints a shape-check verdict in the bench log; panics on failure so a
+/// broken reproduction cannot silently "pass" `cargo bench`.
+pub fn shape_check(name: &str, ok: bool, detail: &str) {
+    if ok {
+        eprintln!("[shape-check] {name}: ok ({detail})");
+    } else {
+        eprintln!("[shape-check] {name}: FAILED ({detail})");
+        panic!("shape check {name} failed: {detail}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_median_is_deterministic() {
+        let config = MacConfig::paper(AlgorithmKind::Beb, 64);
+        let a =
+            mac_median("bench-helper", &config, 20, 5, |r| r.metrics.total_time.as_micros_f64());
+        let b =
+            mac_median("bench-helper", &config, 20, 5, |r| r.metrics.total_time.as_micros_f64());
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn abstract_trial_completes() {
+        let m = abstract_trial(
+            "bench-helper-abs",
+            WindowedConfig::abstract_model(AlgorithmKind::Sawtooth),
+            100,
+            0,
+        );
+        assert_eq!(m.successes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape check")]
+    fn shape_check_panics_on_failure() {
+        shape_check("demo", false, "intentional");
+    }
+}

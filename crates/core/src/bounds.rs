@@ -1,0 +1,151 @@
+//! Closed-form asymptotic guarantees from the paper's Tables II and III.
+//!
+//! These are Θ/Ω shapes with the hidden constant set to 1; they are used to
+//! *compare growth rates* against measured data (ratio flatness), never as
+//! absolute predictions. All iterated logarithms clamp at 1 (see
+//! [`crate::util::lg`]) so every formula is finite for `n ≥ 1`.
+
+use crate::algorithm::AlgorithmKind;
+use crate::util::{lg, lglg, lglglg};
+
+/// Table II: with-high-probability contention-window-slot guarantees for a
+/// single batch of `n` packets.
+///
+/// | Algorithm | CW slots |
+/// |---|---|
+/// | BEB | Θ(n lg n) |
+/// | LB  | Θ(n lg n / lg lg n) |
+/// | LLB | Θ(n lg lg n / lg lg lg n) |
+/// | STB | Θ(n) |
+pub fn cw_slots_bound(kind: AlgorithmKind, n: u64) -> f64 {
+    let nf = n as f64;
+    match kind {
+        AlgorithmKind::Beb => nf * lg(nf),
+        AlgorithmKind::LogBackoff => nf * lg(nf) / lglg(nf),
+        AlgorithmKind::LogLogBackoff => nf * lglg(nf) / lglglg(nf),
+        AlgorithmKind::Sawtooth => nf,
+        // Fixed backoff at W = Θ(n) completes in Θ(n log n) slots in
+        // expectation (coupon-collector-style tail), but with a good
+        // overestimate most packets finish in O(n); we report the
+        // conservative bound.
+        AlgorithmKind::Fixed { .. } | AlgorithmKind::BestOfK { .. } => nf * lg(nf),
+        // Polynomial backoff: windows (i+1)^d; reaching width n takes
+        // n^{1/d} windows whose total size is Θ(n^{1+1/d}).
+        AlgorithmKind::Polynomial { degree } => nf.powf(1.0 + 1.0 / degree as f64),
+    }
+}
+
+/// Table III, second column: asymptotic bounds on disjoint collisions `C_A`
+/// (Claims 1–4 of §IV).
+///
+/// | Algorithm | Collisions |
+/// |---|---|
+/// | BEB | O(n) |
+/// | LB  | Θ(n lg n / lg lg n) |
+/// | LLB | Θ(n lg lg n / lg lg lg n) |
+/// | STB | Θ(n) |
+pub fn collisions_bound(kind: AlgorithmKind, n: u64) -> f64 {
+    let nf = n as f64;
+    match kind {
+        AlgorithmKind::Beb => nf,
+        AlgorithmKind::LogBackoff => nf * lg(nf) / lglg(nf),
+        AlgorithmKind::LogLogBackoff => nf * lglg(nf) / lglglg(nf),
+        AlgorithmKind::Sawtooth => nf,
+        // A good one-time overestimate yields O(n) collisions (constant
+        // per-slot collision probability never recurs); see §VI.
+        AlgorithmKind::Fixed { .. } | AlgorithmKind::BestOfK { .. } => nf,
+        AlgorithmKind::Polynomial { .. } => nf * lg(nf),
+    }
+}
+
+/// Table III, third column: total time `T_A = Θ(C_A · P + W_A)` with packet
+/// time `P` expressed in slot units.
+pub fn total_time_bound(kind: AlgorithmKind, n: u64, packet_time_slots: f64) -> f64 {
+    collisions_bound(kind, n) * packet_time_slots + cw_slots_bound(kind, n)
+}
+
+/// Result 5 / §IV-D: the packet-size growth threshold above which LLB's total
+/// time asymptotically exceeds BEB's: `P = ω(lg n · lg lg lg n / lg lg n)`.
+pub fn llb_vs_beb_packet_threshold(n: u64) -> f64 {
+    let nf = n as f64;
+    lg(nf) * lglglg(nf) / lglg(nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AlgorithmKind::*;
+
+    #[test]
+    fn table2_ordering_at_large_n() {
+        // Asymptotically (CW slots): STB < LLB < LB < BEB.
+        let n = 1u64 << 40;
+        let stb = cw_slots_bound(Sawtooth, n);
+        let llb = cw_slots_bound(LogLogBackoff, n);
+        let lb = cw_slots_bound(LogBackoff, n);
+        let beb = cw_slots_bound(Beb, n);
+        assert!(stb < llb && llb < lb && lb < beb, "{stb} {llb} {lb} {beb}");
+    }
+
+    #[test]
+    fn table3_collision_ordering_at_large_n() {
+        // Asymptotically (collisions): {BEB, STB} = Θ(n) < LLB < LB.
+        let n = 1u64 << 40;
+        let beb = collisions_bound(Beb, n);
+        let stb = collisions_bound(Sawtooth, n);
+        let llb = collisions_bound(LogLogBackoff, n);
+        let lb = collisions_bound(LogBackoff, n);
+        assert_eq!(beb, stb);
+        assert!(stb < llb && llb < lb);
+    }
+
+    #[test]
+    fn llb_collision_growth_is_sluggish() {
+        // §V-A(ii): LLB's collision excess over STB grows very slowly —
+        // the ratio at n = 2^20 is still small.
+        let n = 1u64 << 20;
+        let ratio = collisions_bound(LogLogBackoff, n) / collisions_bound(Sawtooth, n);
+        assert!(ratio > 1.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn total_time_reversal_for_large_packets() {
+        // Result 5: for P growing like lg n, LLB and LB exceed BEB and STB.
+        let n = 1u64 << 30;
+        let p = lg(n as f64); // P = Θ(lg n) slots
+        let beb = total_time_bound(Beb, n, p);
+        let stb = total_time_bound(Sawtooth, n, p);
+        let llb = total_time_bound(LogLogBackoff, n, p);
+        let lb = total_time_bound(LogBackoff, n, p);
+        assert!(beb < llb, "BEB {beb} vs LLB {llb}");
+        assert!(stb < llb);
+        assert!(llb < lb);
+    }
+
+    #[test]
+    fn constant_packet_time_preserves_cw_ordering() {
+        // With P = Θ(1), Table III gives BEB = O(n·1 + n lg n) = Θ(n lg n)
+        // while LLB = Θ(n lg lg n / lg lg lg n): the theory ordering.
+        let n = 1u64 << 30;
+        assert!(total_time_bound(LogLogBackoff, n, 1.0) < total_time_bound(Beb, n, 1.0));
+    }
+
+    #[test]
+    fn threshold_is_sublogarithmic() {
+        let n = 1u64 << 30;
+        assert!(llb_vs_beb_packet_threshold(n) < lg(n as f64));
+        assert!(llb_vs_beb_packet_threshold(n) >= 1.0);
+    }
+
+    #[test]
+    fn bounds_are_finite_and_positive_for_all_small_n() {
+        for n in 1..=2_000u64 {
+            for kind in [Beb, LogBackoff, LogLogBackoff, Sawtooth, Polynomial { degree: 2 }] {
+                let w = cw_slots_bound(kind, n);
+                let c = collisions_bound(kind, n);
+                assert!(w.is_finite() && w > 0.0, "{kind:?} n={n} w={w}");
+                assert!(c.is_finite() && c > 0.0, "{kind:?} n={n} c={c}");
+            }
+        }
+    }
+}

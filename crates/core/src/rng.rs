@@ -1,0 +1,124 @@
+//! Deterministic per-trial RNG derivation.
+//!
+//! Every experiment derives an independent generator from
+//! `(experiment tag, algorithm, n, trial index)` via SplitMix64 mixing, so
+//! results are bit-reproducible regardless of how trials are scheduled across
+//! threads, and different experiments never share streams.
+
+use crate::algorithm::AlgorithmKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — a well-distributed 64-bit mixing function.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combine components into one seed, order-sensitively.
+pub fn mix_seed(components: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3; // π fractional bits — arbitrary non-zero start
+    for &c in components {
+        acc = splitmix64(acc ^ c);
+    }
+    acc
+}
+
+/// A stable small tag per algorithm so seeds differ across algorithms even at
+/// identical `(n, trial)`.
+pub fn algorithm_tag(kind: AlgorithmKind) -> u64 {
+    match kind {
+        AlgorithmKind::Beb => 1,
+        AlgorithmKind::LogBackoff => 2,
+        AlgorithmKind::LogLogBackoff => 3,
+        AlgorithmKind::Sawtooth => 4,
+        AlgorithmKind::Fixed { window } => 5 ^ ((window as u64) << 8),
+        AlgorithmKind::BestOfK { k } => 6 ^ ((k as u64) << 8),
+        AlgorithmKind::Polynomial { degree } => 7 ^ ((degree as u64) << 8),
+    }
+}
+
+/// The generator for one trial of one experiment.
+///
+/// `experiment` is a free-form tag (e.g. a FNV hash of `"fig7"`); use
+/// [`experiment_tag`] for strings.
+pub fn trial_rng(experiment: u64, kind: AlgorithmKind, n: u32, trial: u32) -> SmallRng {
+    let seed = mix_seed(&[experiment, algorithm_tag(kind), n as u64, trial as u64]);
+    SmallRng::seed_from_u64(seed)
+}
+
+/// FNV-1a hash of an experiment name.
+pub fn experiment_tag(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_not_identity_and_spreads() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche sanity: single-bit input change flips many output bits.
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "weak avalanche: {d} bits");
+    }
+
+    #[test]
+    fn mix_seed_is_order_sensitive() {
+        assert_ne!(mix_seed(&[1, 2]), mix_seed(&[2, 1]));
+        assert_ne!(mix_seed(&[1]), mix_seed(&[1, 0]));
+    }
+
+    #[test]
+    fn trial_rngs_reproduce() {
+        let tag = experiment_tag("fig7");
+        let mut a = trial_rng(tag, AlgorithmKind::Beb, 100, 3);
+        let mut b = trial_rng(tag, AlgorithmKind::Beb, 100, 3);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn trial_rngs_differ_across_dimensions() {
+        let tag = experiment_tag("fig7");
+        let base: u64 = trial_rng(tag, AlgorithmKind::Beb, 100, 3).gen();
+        let by_trial: u64 = trial_rng(tag, AlgorithmKind::Beb, 100, 4).gen();
+        let by_n: u64 = trial_rng(tag, AlgorithmKind::Beb, 101, 3).gen();
+        let by_alg: u64 = trial_rng(tag, AlgorithmKind::Sawtooth, 100, 3).gen();
+        let by_exp: u64 = trial_rng(experiment_tag("fig8"), AlgorithmKind::Beb, 100, 3).gen();
+        assert_ne!(base, by_trial);
+        assert_ne!(base, by_n);
+        assert_ne!(base, by_alg);
+        assert_ne!(base, by_exp);
+    }
+
+    #[test]
+    fn algorithm_tags_distinguish_parameters() {
+        assert_ne!(
+            algorithm_tag(AlgorithmKind::BestOfK { k: 3 }),
+            algorithm_tag(AlgorithmKind::BestOfK { k: 5 })
+        );
+        assert_ne!(
+            algorithm_tag(AlgorithmKind::Fixed { window: 64 }),
+            algorithm_tag(AlgorithmKind::Fixed { window: 128 })
+        );
+    }
+
+    #[test]
+    fn experiment_tag_is_stable_fnv() {
+        // FNV-1a of "a" is a published constant.
+        assert_eq!(experiment_tag("a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(experiment_tag("fig7"), experiment_tag("fig8"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Small numeric helpers shared across the workspace.
+
+/// Base-2 logarithm clamped from below at 1.0.
+///
+/// The paper's growth rates `r = 1/lg W` and `r = 1/lg lg W` and its
+/// asymptotic bounds divide by iterated logarithms that vanish (or go
+/// negative) for small arguments. Clamping at 1 matches the convention used
+/// throughout the paper's analysis ("for a sufficiently large constant") and
+/// keeps every formula well-defined for all `n ≥ 1`.
+pub fn lg(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    x.log2().max(1.0)
+}
+
+/// `lg lg x`, clamped at 1.0.
+pub fn lglg(x: f64) -> f64 {
+    lg(lg(x))
+}
+
+/// `lg lg lg x`, clamped at 1.0.
+pub fn lglglg(x: f64) -> f64 {
+    lg(lglg(x))
+}
+
+/// The paper's percentage convention (§III-A): `100 × (A − B) / B`, where `B`
+/// is always the BEB ("old") value and `A` the challenger ("new") value.
+///
+/// Positive values mean the challenger is *worse* (larger) on the metric.
+pub fn percent_change(new_value: f64, beb_baseline: f64) -> f64 {
+    assert!(
+        beb_baseline != 0.0,
+        "percent change is undefined against a zero baseline"
+    );
+    100.0 * (new_value - beb_baseline) / beb_baseline
+}
+
+/// Integer ceiling division.
+pub fn div_ceil_u64(a: u64, b: u64) -> u64 {
+    assert!(b > 0);
+    a / b + u64::from(!a.is_multiple_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_clamps_small_arguments() {
+        assert_eq!(lg(1.0), 1.0);
+        assert_eq!(lg(2.0), 1.0);
+        assert_eq!(lg(8.0), 3.0);
+        assert_eq!(lg(0.5), 1.0);
+    }
+
+    #[test]
+    fn iterated_logs() {
+        assert_eq!(lglg(16.0), 2.0); // lg 16 = 4, lg 4 = 2
+        assert_eq!(lglg(4.0), 1.0);
+        assert_eq!(lglglg(65536.0), 2.0); // lg = 16, lglg = 4, lglglg = 2
+        assert!((lglglg(100.0) - 1.45).abs() < 0.01); // lg ≈ 6.64, lglg ≈ 2.73
+        assert_eq!(lglglg(4.0), 1.0); // fully clamped
+    }
+
+    #[test]
+    fn percent_change_matches_paper_convention() {
+        // Paper §III-A1: STB at 151 slots vs BEB at 886 slots ⇒ −83 %.
+        let pc = percent_change(151.0, 886.0);
+        assert!((pc - -82.957).abs() < 0.01, "{pc}");
+        assert_eq!(percent_change(150.0, 100.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero baseline")]
+    fn percent_change_rejects_zero_baseline() {
+        let _ = percent_change(1.0, 0.0);
+    }
+
+    #[test]
+    fn ceiling_division() {
+        assert_eq!(div_ceil_u64(10, 3), 4);
+        assert_eq!(div_ceil_u64(9, 3), 3);
+        assert_eq!(div_ceil_u64(0, 3), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's reporting pipeline: outlier filter → median → 95 % CI.
+
+use crate::summary::{Metric, TrialSummary};
+use crate::sweep::SweepCell;
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::util::percent_change;
+use contention_stats::ci::median_ci95;
+use contention_stats::outliers::without_outliers;
+use contention_stats::summary::median;
+use serde::{Deserialize, Serialize};
+
+/// One plotted point: median with its 95 % confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    pub x: f64,
+    pub median: f64,
+    pub ci_low: f64,
+    pub ci_high: f64,
+    /// Trials surviving the outlier filter.
+    pub kept: usize,
+    /// Trials discarded by the outlier filter.
+    pub dropped: usize,
+}
+
+/// A named series (one line of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// The point at a given x (panics if absent — figures always share grids).
+    pub fn at(&self, x: f64) -> SeriesPoint {
+        *self
+            .points
+            .iter()
+            .find(|p| p.x == x)
+            .unwrap_or_else(|| panic!("series {} has no point at {x}", self.name))
+    }
+
+    /// Median at the largest x — the value the paper quotes percentages at
+    /// (`n = 150` in most figures).
+    pub fn final_median(&self) -> f64 {
+        self.points.last().expect("non-empty series").median
+    }
+}
+
+/// Aggregates one metric over the trials of one cell.
+pub fn aggregate_cell(cell: &SweepCell, metric: Metric) -> SeriesPoint {
+    let raw: Vec<f64> = cell.trials.iter().map(|t| metric.extract(t)).collect();
+    aggregate_values(cell.n as f64, &raw)
+}
+
+/// Aggregates raw per-trial values at a given x.
+pub fn aggregate_values(x: f64, raw: &[f64]) -> SeriesPoint {
+    assert!(!raw.is_empty(), "no trials to aggregate");
+    let kept = without_outliers(raw);
+    let dropped = raw.len() - kept.len();
+    let med = median(&kept);
+    let (lo, hi) = median_ci95(&kept);
+    SeriesPoint { x, median: med, ci_low: lo, ci_high: hi, kept: kept.len(), dropped }
+}
+
+/// Builds one series per algorithm for a metric, over the sweep's n grid.
+pub fn series_per_algorithm(
+    cells: &[SweepCell],
+    algorithms: &[AlgorithmKind],
+    metric: Metric,
+) -> Vec<Series> {
+    algorithms
+        .iter()
+        .map(|&alg| Series {
+            name: alg.label(),
+            points: cells
+                .iter()
+                .filter(|c| c.algorithm == alg)
+                .map(|c| aggregate_cell(c, metric))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The paper's headline statistic: percent change of each challenger vs the
+/// first series (BEB) at the largest x. Returns `(name, percent)` pairs.
+pub fn final_percent_vs_first(series: &[Series]) -> Vec<(String, f64)> {
+    let baseline = series.first().expect("at least one series").final_median();
+    series
+        .iter()
+        .skip(1)
+        .map(|s| (s.name.clone(), percent_change(s.final_median(), baseline)))
+        .collect()
+}
+
+/// Extracts raw metric values of one cell — for figures that need the full
+/// sample (e.g. the Fig 14 regression).
+pub fn raw_values(cell: &SweepCell, metric: Metric) -> Vec<f64> {
+    cell.trials.iter().map(|t| metric.extract(t)).collect()
+}
+
+/// Pairs up per-trial values of two cells (same trial index) and returns the
+/// differences `a − b`; the Fig 14 scatter.
+pub fn paired_differences(a: &[TrialSummary], b: &[TrialSummary], metric: Metric) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "paired cells need equal trial counts");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| metric.extract(x) - metric.extract(y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::algorithm::AlgorithmKind::*;
+
+    fn summary(n: u32, cw: f64) -> TrialSummary {
+        TrialSummary {
+            n,
+            successes: n,
+            cw_slots: cw,
+            half_cw_slots: 0.0,
+            total_time_us: cw * 10.0,
+            half_time_us: 0.0,
+            collisions: 0.0,
+            colliding_stations: 0.0,
+            max_ack_timeouts: 0.0,
+            max_ack_timeout_time_us: 0.0,
+            median_estimate: 0.0,
+        }
+    }
+
+    fn cell_with(alg: AlgorithmKind, n: u32, values: &[f64]) -> SweepCell {
+        SweepCell {
+            algorithm: alg,
+            n,
+            trials: values.iter().map(|&v| summary(n, v)).collect(),
+        }
+    }
+
+    #[test]
+    fn aggregation_filters_and_brackets() {
+        let mut vals: Vec<f64> = (0..29).map(|i| 100.0 + i as f64).collect();
+        vals.push(1e6); // gross outlier
+        let c = cell_with(Beb, 10, &vals);
+        let p = aggregate_cell(&c, Metric::CwSlots);
+        assert_eq!(p.dropped, 1);
+        assert_eq!(p.kept, 29);
+        assert!(p.ci_low <= p.median && p.median <= p.ci_high);
+        assert!(p.median < 200.0);
+    }
+
+    #[test]
+    fn series_building_and_percentages() {
+        let cells = vec![
+            cell_with(Beb, 10, &[100.0, 100.0, 100.0, 100.0]),
+            cell_with(Beb, 20, &[200.0, 200.0, 200.0, 200.0]),
+            cell_with(Sawtooth, 10, &[50.0, 50.0, 50.0, 50.0]),
+            cell_with(Sawtooth, 20, &[40.0, 40.0, 40.0, 40.0]),
+        ];
+        let series = series_per_algorithm(&cells, &[Beb, Sawtooth], Metric::CwSlots);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].at(20.0).median, 200.0);
+        let pct = final_percent_vs_first(&series);
+        assert_eq!(pct, vec![("STB".to_string(), -80.0)]);
+    }
+
+    #[test]
+    fn paired_differences_align_trials() {
+        let a = vec![summary(5, 10.0), summary(5, 20.0)];
+        let b = vec![summary(5, 4.0), summary(5, 25.0)];
+        let d = paired_differences(&a, &b, Metric::CwSlots);
+        assert_eq!(d, vec![6.0, -5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn empty_cell_panics() {
+        let c = SweepCell { algorithm: Beb, n: 1, trials: vec![] };
+        let _ = aggregate_cell(&c, Metric::CwSlots);
+    }
+}

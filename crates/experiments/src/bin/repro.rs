@@ -1,0 +1,73 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]
+//! ```
+//!
+//! Default grids are laptop-quick; `--full` switches to the paper's grids.
+//! With `--out DIR` each experiment also writes CSV series for plotting.
+
+use contention_experiments::figures::{registry, Report};
+use contention_experiments::options::Options;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let (sub, opts) = match Options::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if sub == "list" {
+        for (name, desc, _) in registry() {
+            println!("{name:<8} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let entries = registry();
+    let selected: Vec<_> = if sub == "all" {
+        entries
+    } else {
+        match entries.into_iter().find(|(name, _, _)| *name == sub) {
+            Some(entry) => vec![entry],
+            None => {
+                eprintln!("error: unknown experiment {sub:?} (try `repro list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for (name, _, runner) in selected {
+        let started = std::time::Instant::now();
+        let report: Report = runner(&opts);
+        report.print();
+        if let Some(dir) = &opts.out_dir {
+            report.write_csv(dir);
+            println!("[{}] CSVs written to {}", name, dir.display());
+        }
+        println!("[{}] done in {:.1?}\n", name, started.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!("usage: repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]");
+    println!();
+    println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds)");
+    println!("  --trials N  override the trial count");
+    println!("  --out DIR   also write CSV series to DIR");
+    println!("  --threads N worker threads (default: all cores)");
+    println!();
+    println!("experiments:");
+    for (name, desc, _) in registry() {
+        println!("  {name:<8} {desc}");
+    }
+}

@@ -1,0 +1,103 @@
+//! CSV emission for external plotting.
+
+use crate::aggregate::Series;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes one figure's series to `<dir>/<name>.csv` with columns
+/// `x, series, median, ci_low, ci_high, kept, dropped`.
+/// Returns the written path.
+pub fn write_series(dir: &Path, name: &str, x_label: &str, series: &[Series]) -> PathBuf {
+    fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&format!("{x_label},series,median,ci_low,ci_high,kept,dropped\n"));
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                p.x, s.name, p.median, p.ci_low, p.ci_high, p.kept, p.dropped
+            ));
+        }
+    }
+    let mut f = fs::File::create(&path).expect("create CSV file");
+    f.write_all(out.as_bytes()).expect("write CSV");
+    path
+}
+
+/// Writes free-form rows (first row is the header).
+pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> PathBuf {
+    fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    for row in rows {
+        for cell in row {
+            assert!(
+                !cell.contains(',') && !cell.contains('\n'),
+                "CSV cells must not contain separators: {cell:?}"
+            );
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(&path).expect("create CSV file");
+    f.write_all(out.as_bytes()).expect("write CSV");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SeriesPoint;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("csvout-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let dir = tmp("series");
+        let series = vec![Series {
+            name: "BEB".into(),
+            points: vec![SeriesPoint {
+                x: 10.0,
+                median: 5.0,
+                ci_low: 4.0,
+                ci_high: 6.0,
+                kept: 3,
+                dropped: 1,
+            }],
+        }];
+        let path = write_series(&dir, "fig_test", "n", &series);
+        let text = fs::read_to_string(path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().starts_with("10,BEB,5,4,6,3,1"));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let dir = tmp("rows");
+        let path = write_rows(
+            &dir,
+            "rows_test",
+            &[
+                vec!["a".into(), "b".into()],
+                vec!["1".into(), "2".into()],
+            ],
+        );
+        assert_eq!(fs::read_to_string(path).unwrap(), "a,b\n1,2\n");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "separators")]
+    fn comma_in_cell_panics() {
+        let dir = tmp("bad");
+        write_rows(&dir, "bad", &[vec!["a,b".into()]]);
+    }
+}

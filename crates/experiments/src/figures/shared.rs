@@ -1,0 +1,109 @@
+//! Sweeps shared by several figures.
+//!
+//! The paper generates Figures 3, 6, 7, 9, 11 and 12 from the same 64 B NS3
+//! runs (and 4, 8, 10 from the 1024 B runs); we mirror that by deriving those
+//! figures from one shared sweep per payload, so the figures are mutually
+//! consistent within a `repro` invocation.
+
+use crate::aggregate::{final_percent_vs_first, series_per_algorithm, Series};
+use crate::figures::Report;
+use crate::options::Options;
+use crate::summary::Metric;
+use crate::sweep::{MacSweep, SweepCell};
+use crate::table::render_series;
+use contention_core::algorithm::AlgorithmKind;
+use contention_mac::MacConfig;
+
+/// The paper's four head-to-head algorithms.
+pub fn paper_algorithms() -> Vec<AlgorithmKind> {
+    AlgorithmKind::PAPER_SET.to_vec()
+}
+
+/// The shared MAC sweep for one payload size.
+pub fn mac_sweep(opts: &Options, payload: u32) -> Vec<SweepCell> {
+    let experiment: &'static str = match payload {
+        64 => "mac-64",
+        1024 => "mac-1024",
+        12 => "mac-12",
+        _ => "mac-other",
+    };
+    MacSweep {
+        experiment,
+        config: MacConfig::paper(AlgorithmKind::Beb, payload),
+        algorithms: paper_algorithms(),
+        ns: opts.mac_ns(),
+        trials: opts.trials_or(8, 30),
+        threads: opts.threads,
+    }
+    .run()
+}
+
+/// Builds the standard figure report: a per-algorithm series table over `n`
+/// plus the paper's percent-change-vs-BEB line at the largest `n`.
+pub fn standard_mac_figure(
+    opts: &Options,
+    title: &str,
+    csv_name: &str,
+    payload: u32,
+    metric: Metric,
+    paper_percents: &str,
+) -> Report {
+    let cells = mac_sweep(opts, payload);
+    let series = series_per_algorithm(&cells, &paper_algorithms(), metric);
+    report_from_series(title, csv_name, metric, &series, paper_percents)
+}
+
+/// Renders series + percent line into a [`Report`].
+pub fn report_from_series(
+    title: &str,
+    csv_name: &str,
+    metric: Metric,
+    series: &[Series],
+    paper_percents: &str,
+) -> Report {
+    let mut report = Report::new(title);
+    report.line(format!("metric: {}", metric.label()));
+    report.line(render_series("n", series));
+    let max_n = series[0].points.last().expect("non-empty").x;
+    let pct = final_percent_vs_first(series);
+    let rendered: Vec<String> =
+        pct.iter().map(|(name, p)| format!("{name} {p:+.1}%")).collect();
+    report.line(format!(
+        "vs BEB at n={max_n}: {}   (paper: {paper_percents})",
+        rendered.join(", ")
+    ));
+    report.series_csv(csv_name, "n", series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> Options {
+        Options { trials: Some(3), threads: Some(2), ..Options::default() }
+    }
+
+    #[test]
+    fn shared_sweep_covers_grid() {
+        let opts = tiny_opts();
+        let cells = mac_sweep(&opts, 64);
+        assert_eq!(cells.len(), 4 * opts.mac_ns().len());
+        assert!(cells.iter().all(|c| c.trials.len() == 3));
+    }
+
+    #[test]
+    fn standard_figure_produces_table_and_percents() {
+        let r = standard_mac_figure(
+            &tiny_opts(),
+            "test figure",
+            "test_fig",
+            64,
+            Metric::CwSlots,
+            "-49.4% / -68.2% / -83.0%",
+        );
+        assert!(r.body.contains("BEB"));
+        assert!(r.body.contains("vs BEB at n=150"));
+        assert_eq!(r.csv.len(), 1);
+    }
+}

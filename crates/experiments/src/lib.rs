@@ -1,0 +1,29 @@
+//! # contention-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation. Each figure lives in its own module under
+//! [`figures`]; the `repro` binary exposes one subcommand per figure.
+//!
+//! The building blocks:
+//!
+//! * [`summary::TrialSummary`] — the scalar metrics extracted from one trial
+//!   (full per-station vectors are dropped inside the worker so large-`n`
+//!   abstract sweeps stay memory-light).
+//! * [`sweep`] — Cartesian `(algorithm × n × trial)` sweeps over either
+//!   simulator, executed with the deterministic parallel runner.
+//! * [`aggregate`] — the paper's reporting pipeline: outlier filtering
+//!   (1.5·IQR from the median), medians, and 95 % CIs.
+//! * [`table`] — plain-text table rendering for the terminal.
+//! * [`csvout`] — CSV emission for plotting.
+//! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids).
+
+pub mod aggregate;
+pub mod csvout;
+pub mod figures;
+pub mod options;
+pub mod summary;
+pub mod sweep;
+pub mod table;
+
+pub use options::Options;
+pub use summary::TrialSummary;

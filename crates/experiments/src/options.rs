@@ -1,0 +1,127 @@
+//! CLI options shared by every `repro` subcommand.
+
+use std::path::PathBuf;
+
+/// Harness options.
+///
+/// The default grids are laptop-quick; `--full` switches to the paper's
+/// grids (30–200 trials, n up to 150 for the MAC sweeps and 10⁵ for the
+/// abstract sweeps), which take minutes rather than seconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub struct Options {
+    /// Use the paper's full grids.
+    pub full: bool,
+    /// Override the trial count.
+    pub trials: Option<u32>,
+    /// Write CSVs here in addition to printing.
+    pub out_dir: Option<PathBuf>,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+
+impl Options {
+    /// Picks between a quick and a full grid value.
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+
+    /// Trial count: explicit override, else quick/full default.
+    pub fn trials_or(&self, quick: u32, full: u32) -> u32 {
+        self.trials.unwrap_or_else(|| self.pick(quick, full))
+    }
+
+    /// The paper's MAC-sweep x-axis: n = 10, 20, …, 150 (full), or a coarse
+    /// subset (quick).
+    pub fn mac_ns(&self) -> Vec<u32> {
+        if self.full {
+            (1..=15).map(|i| i * 10).collect()
+        } else {
+            vec![10, 50, 100, 150]
+        }
+    }
+
+    /// Parses `repro`-style flags. Returns `(subcommand, options)`.
+    pub fn parse(args: &[String]) -> Result<(String, Options), String> {
+        let mut sub = None;
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--trials" => {
+                    let v = it.next().ok_or("--trials needs a value")?;
+                    opts.trials = Some(v.parse().map_err(|_| format!("bad trial count {v:?}"))?);
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a directory")?;
+                    opts.out_dir = Some(PathBuf::from(v));
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    opts.threads =
+                        Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                name => {
+                    if sub.replace(name.to_string()).is_some() {
+                        return Err(format!("unexpected extra argument {name:?}"));
+                    }
+                }
+            }
+        }
+        Ok((sub.ok_or("missing subcommand")?, opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let (sub, opts) =
+            Options::parse(&strs(&["fig7", "--full", "--trials", "5", "--threads", "2"])).unwrap();
+        assert_eq!(sub, "fig7");
+        assert!(opts.full);
+        assert_eq!(opts.trials, Some(5));
+        assert_eq!(opts.threads, Some(2));
+    }
+
+    #[test]
+    fn out_dir() {
+        let (_, opts) = Options::parse(&strs(&["fig3", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(opts.out_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_missing_sub() {
+        assert!(Options::parse(&strs(&["fig3", "--nope"])).is_err());
+        assert!(Options::parse(&strs(&["--full"])).is_err());
+        assert!(Options::parse(&strs(&["fig3", "fig4"])).is_err());
+        assert!(Options::parse(&strs(&["fig3", "--trials", "abc"])).is_err());
+    }
+
+    #[test]
+    fn quick_vs_full_defaults() {
+        let quick = Options::default();
+        assert_eq!(quick.trials_or(5, 30), 5);
+        assert_eq!(quick.mac_ns(), vec![10, 50, 100, 150]);
+        let full = Options { full: true, ..Options::default() };
+        assert_eq!(full.trials_or(5, 30), 30);
+        assert_eq!(full.mac_ns().len(), 15);
+        let overridden = Options { trials: Some(9), ..Options::default() };
+        assert_eq!(overridden.trials_or(5, 30), 9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text table rendering for the terminal.
+
+use crate::aggregate::Series;
+
+/// Renders aligned columns with a header row. Every row must have the same
+/// arity as the header.
+pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), header.len(), "row {i} has wrong arity");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let mut out = fmt_row(header);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// Renders a figure's series side by side: one row per x, one column block
+/// (`median [lo, hi]`) per series.
+pub fn render_series(x_label: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty());
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.x).collect();
+    for s in series {
+        let sx: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+        assert_eq!(sx, xs, "series {} is on a different grid", s.name);
+    }
+    let mut header = vec![x_label.to_string()];
+    for s in series {
+        header.push(s.name.clone());
+        header.push("95% CI".to_string());
+    }
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut row = vec![trim_float(x)];
+            for s in series {
+                let p = s.points[i];
+                row.push(trim_float(p.median));
+                row.push(format!("[{}, {}]", trim_float(p.ci_low), trim_float(p.ci_high)));
+            }
+            row
+        })
+        .collect();
+    render(&header, &rows)
+}
+
+/// Formats a float without trailing noise: integers as integers, otherwise
+/// one decimal.
+pub fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SeriesPoint;
+
+    #[test]
+    fn columns_align() {
+        let out = render(
+            &["n".into(), "value".into()],
+            &[
+                vec!["10".into(), "3".into()],
+                vec!["100".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("    3"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn series_table_includes_cis() {
+        let series = vec![Series {
+            name: "BEB".into(),
+            points: vec![SeriesPoint {
+                x: 10.0,
+                median: 100.0,
+                ci_low: 90.0,
+                ci_high: 110.0,
+                kept: 30,
+                dropped: 0,
+            }],
+        }];
+        let out = render_series("n", &series);
+        assert!(out.contains("BEB"));
+        assert!(out.contains("[90, 110]"));
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(10.0), "10");
+        assert_eq!(trim_float(10.25), "10.2");
+        assert_eq!(trim_float(-3.0), "-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_panics() {
+        let _ = render(&["a".into(), "b".into()], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-station BEST-OF-k estimation state (§VI, Figure 17).
+//!
+//! The simulator drives globally aligned 35 µs probe rounds; this module owns
+//! the per-station bookkeeping: which phase the station is in, how many of
+//! the phase's rounds it sensed clear, and the decision rule. Whether a round
+//! *was* clear is a medium-level fact the simulator supplies.
+
+use contention_core::estimate::BestOfKSpec;
+
+/// What a station does at the start of a probe round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundAction {
+    /// Transmit a dummy probe this round (counts as a busy round for self).
+    Send,
+    /// Listen this round.
+    Sense,
+}
+
+/// Outcome of finishing a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// Majority of rounds sensed clear: adopt this window estimate.
+    Decide(u32),
+    /// Advance to the next phase.
+    Continue,
+}
+
+/// Estimation state of one station.
+#[derive(Debug, Clone)]
+pub struct EstimState {
+    spec: BestOfKSpec,
+    phase: u32,
+    rounds_done: u32,
+    clear_rounds: u32,
+    sent_this_round: bool,
+}
+
+impl EstimState {
+    pub fn new(spec: BestOfKSpec) -> EstimState {
+        EstimState { spec, phase: 0, rounds_done: 0, clear_rounds: 0, sent_this_round: false }
+    }
+
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Probability of sending this phase: `2^-phase`.
+    pub fn send_probability(&self) -> f64 {
+        0.5f64.powi(self.phase as i32)
+    }
+
+    /// Begin a round with the given action (the simulator flips the coin so
+    /// all randomness flows through one RNG stream).
+    pub fn begin_round(&mut self, action: RoundAction) {
+        self.sent_this_round = action == RoundAction::Send;
+    }
+
+    /// Finish the current round. `channel_was_busy` is the medium's verdict
+    /// over the whole round; a round in which the station itself sent is
+    /// never clear (its own frame occupied the channel).
+    ///
+    /// Returns `Some` when this round completed the phase.
+    pub fn finish_round(&mut self, channel_was_busy: bool) -> Option<PhaseOutcome> {
+        let clear = !channel_was_busy && !self.sent_this_round;
+        debug_assert!(
+            !self.sent_this_round || channel_was_busy,
+            "a round the station sent in cannot be globally clear"
+        );
+        if clear {
+            self.clear_rounds += 1;
+        }
+        self.rounds_done += 1;
+        if self.rounds_done < self.spec.k {
+            return None;
+        }
+        // Phase complete.
+        let outcome = if self.spec.majority_clear(self.clear_rounds) {
+            PhaseOutcome::Decide(self.spec.estimate_for_phase(self.phase))
+        } else if self.phase >= self.spec.max_exponent {
+            // Exhausted: the paper's loop ends; adopt the cap (CWmax).
+            PhaseOutcome::Decide(self.spec.estimate_for_phase(self.spec.max_exponent))
+        } else {
+            self.phase += 1;
+            PhaseOutcome::Continue
+        };
+        self.rounds_done = 0;
+        self.clear_rounds = 0;
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_phase(state: &mut EstimState, rounds: &[(RoundAction, bool)]) -> Option<PhaseOutcome> {
+        let mut out = None;
+        for &(action, busy) in rounds {
+            state.begin_round(action);
+            out = state.finish_round(busy);
+        }
+        out
+    }
+
+    #[test]
+    fn clear_majority_decides_with_current_phase_estimate() {
+        let mut s = EstimState::new(BestOfKSpec::paper(3));
+        // Phase 0, all busy → continue.
+        let out = run_phase(
+            &mut s,
+            &[(RoundAction::Send, true), (RoundAction::Send, true), (RoundAction::Send, true)],
+        );
+        assert_eq!(out, Some(PhaseOutcome::Continue));
+        assert_eq!(s.phase(), 1);
+        // Phase 1: two clear senses out of three → decide W = 2^1.
+        let out = run_phase(
+            &mut s,
+            &[
+                (RoundAction::Sense, false),
+                (RoundAction::Sense, true),
+                (RoundAction::Sense, false),
+            ],
+        );
+        assert_eq!(out, Some(PhaseOutcome::Decide(2)));
+    }
+
+    #[test]
+    fn own_send_counts_as_busy() {
+        let mut s = EstimState::new(BestOfKSpec::paper(3));
+        s.phase = 2;
+        // Station sends in 2 of 3 rounds; the one sensed round is clear.
+        // clear_rounds = 1, not a majority of 3 → continue.
+        let out = run_phase(
+            &mut s,
+            &[
+                (RoundAction::Send, true),
+                (RoundAction::Sense, false),
+                (RoundAction::Send, true),
+            ],
+        );
+        assert_eq!(out, Some(PhaseOutcome::Continue));
+        assert_eq!(s.phase(), 3);
+    }
+
+    #[test]
+    fn exhaustion_adopts_the_cap() {
+        let spec = BestOfKSpec::paper(3);
+        let mut s = EstimState::new(spec);
+        s.phase = spec.max_exponent;
+        let out = run_phase(
+            &mut s,
+            &[(RoundAction::Sense, true), (RoundAction::Sense, true), (RoundAction::Sense, true)],
+        );
+        assert_eq!(out, Some(PhaseOutcome::Decide(1024)));
+    }
+
+    #[test]
+    fn send_probability_halves_per_phase() {
+        let mut s = EstimState::new(BestOfKSpec::paper(3));
+        assert_eq!(s.send_probability(), 1.0);
+        s.phase = 3;
+        assert_eq!(s.send_probability(), 0.125);
+    }
+
+    #[test]
+    fn mid_phase_rounds_return_none() {
+        let mut s = EstimState::new(BestOfKSpec::paper(5));
+        s.begin_round(RoundAction::Sense);
+        assert_eq!(s.finish_round(true), None);
+        s.begin_round(RoundAction::Sense);
+        assert_eq!(s.finish_round(true), None);
+    }
+
+    #[test]
+    fn counters_reset_between_phases() {
+        let mut s = EstimState::new(BestOfKSpec::paper(3));
+        // Phase 0: one clear sense is not a majority → continue.
+        run_phase(
+            &mut s,
+            &[
+                (RoundAction::Sense, false),
+                (RoundAction::Send, true),
+                (RoundAction::Send, true),
+            ],
+        );
+        // Phase 1: a single clear round must not combine with phase 0's.
+        s.begin_round(RoundAction::Sense);
+        assert_eq!(s.finish_round(false), None);
+        s.begin_round(RoundAction::Send);
+        assert_eq!(s.finish_round(true), None);
+        s.begin_round(RoundAction::Send);
+        // clear_rounds = 1 of 3 → continue, not decide.
+        assert_eq!(s.finish_round(true), Some(PhaseOutcome::Continue));
+    }
+}

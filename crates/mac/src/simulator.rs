@@ -1,0 +1,870 @@
+//! The event-driven DCF simulator.
+//!
+//! One [`simulate`] call runs a single batch of `n` stations, all arriving at
+//! `t = 0` with one packet each, against an access point on an ideal channel.
+//! The machinery follows §I-B's description of DCF:
+//!
+//! ```text
+//! station ──DIFS──► backoff countdown ──expiry──► DATA ──┬─ clean ─ SIFS ─ ACK ─► done
+//!    ▲  (freezes while medium busy,                      │
+//!    │   resumes after DIFS idle)                        └─ collided ─ ACK timeout ─► grow CW, redraw
+//!    └────────────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Global contention-window slots are accounted as wall-clock time during
+//! which the medium is idle (post-DIFS) and at least one station is counting
+//! down, divided by the 9 µs slot — the MAC-level equivalent of the abstract
+//! model's slot count.
+
+use crate::config::MacConfig;
+use crate::estimation::{EstimState, PhaseOutcome, RoundAction};
+use crate::medium::{ActiveTx, Medium, TxKind, TxSource};
+use crate::trace::{Span, SpanKind, Trace};
+use contention_core::metrics::{BatchMetrics, StationMetrics};
+use contention_core::schedule::{Schedule, WindowSchedule};
+use contention_core::time::Nanos;
+use contention_sim::event::EventQueue;
+use rand::Rng;
+
+/// Result of one MAC trial.
+#[derive(Debug, Clone)]
+pub struct MacRun {
+    /// The shared metric set (CW slots, total time, collisions, …).
+    pub metrics: BatchMetrics,
+    /// Per-station BEST-OF-k estimates (`None` for non-estimating runs).
+    pub estimates: Vec<Option<u32>>,
+    /// Frames corrupted by a lone probe overlap rather than a station-vs-
+    /// station collision (only possible in BEST-OF-k runs).
+    pub probe_corruptions: u64,
+    /// Execution trace, when `capture_trace` was set.
+    pub trace: Option<Trace>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The medium has been idle for a DIFS: resume every waiting station.
+    GlobalDifs { gen: u64 },
+    /// One station's personal DIFS completed (post-ACK-timeout rejoin).
+    PersonalDifs { station: u32, gen: u64 },
+    /// A station's backoff countdown expired: transmit.
+    BackoffExpire { station: u32, gen: u64 },
+    /// A frame left the air.
+    TxEnd { id: u64 },
+    /// The AP starts an ACK (SIFS after a clean data frame). `tag` is the
+    /// addressee's attempt generation at scheduling time, so a late ACK for
+    /// an abandoned attempt is detectably stale.
+    AckStart { station: u32, tag: u64 },
+    /// The AP starts a CTS (SIFS after a clean RTS).
+    CtsStart { station: u32, tag: u64 },
+    /// The station starts its data frame (SIFS after receiving CTS).
+    DataStart { station: u32 },
+    /// The sender gives up waiting for an ACK/CTS: diagnose a collision.
+    AckTimeout { station: u32, gen: u64 },
+    /// Boundary of a BEST-OF-k probe round.
+    EstimationRound,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Running the BEST-OF-k probe phase.
+    Estimating,
+    /// Waiting for a DIFS of idle (frozen backoff or fresh arrival).
+    WaitDifs,
+    /// Counting down; `expiry_at` is live.
+    Backoff,
+    /// Own frame on air.
+    Transmitting,
+    /// RTS sent, waiting for CTS.
+    AwaitingCts,
+    /// CTS received, data starts after SIFS.
+    PreparingData,
+    /// Data sent, waiting for ACK.
+    AwaitingAck,
+    /// Packet acknowledged.
+    Done,
+}
+
+struct Station {
+    state: State,
+    /// Window schedule; `None` only while estimating.
+    schedule: Option<Schedule>,
+    /// Backoff slots left to count.
+    remaining: u64,
+    /// When the current countdown expires (valid in `Backoff`).
+    expiry_at: Nanos,
+    /// When the current countdown (re)started (valid in `Backoff`).
+    resume_at: Nanos,
+    /// Invalidates this station's scheduled events.
+    gen: u64,
+    estim: Option<EstimState>,
+    estimate: Option<u32>,
+    metrics: StationMetrics,
+}
+
+struct Sim<'a, R: Rng> {
+    config: &'a MacConfig,
+    rng: &'a mut R,
+    n: u32,
+    queue: EventQueue<Event>,
+    medium: Medium,
+    stations: Vec<Station>,
+    next_tx_id: u64,
+    /// Stations currently in `Backoff`.
+    counting: u32,
+    /// Open global CW interval start, if any.
+    cw_open_at: Option<Nanos>,
+    /// Accumulated global CW time.
+    cw_time: Nanos,
+    /// Invalidates the pending GlobalDifs.
+    difs_gen: u64,
+    // Global tallies.
+    successes: u32,
+    collisions: u64,
+    colliding_stations: u64,
+    probe_corruptions: u64,
+    half_target: u32,
+    half_time: Nanos,
+    half_cw_slots: u64,
+    total_time: Nanos,
+    final_cw_slots: u64,
+    done: bool,
+    // Estimation phase.
+    estimating: u32,
+    round_index: u64,
+    round_had_busy: bool,
+    trace: Option<Trace>,
+}
+
+/// Runs one single-batch trial. Deterministic for a given `(config, n, rng)`.
+pub fn simulate<R: Rng>(config: &MacConfig, n: u32, rng: &mut R) -> MacRun {
+    let mut sim = Sim::new(config, n, rng);
+    sim.init();
+    sim.run();
+    sim.finish()
+}
+
+impl<'a, R: Rng> Sim<'a, R> {
+    fn new(config: &'a MacConfig, n: u32, rng: &'a mut R) -> Sim<'a, R> {
+        Sim {
+            config,
+            rng,
+            n,
+            queue: EventQueue::new(),
+            medium: Medium::new(),
+            stations: Vec::new(),
+            next_tx_id: 0,
+            counting: 0,
+            cw_open_at: None,
+            cw_time: Nanos::ZERO,
+            difs_gen: 0,
+            successes: 0,
+            collisions: 0,
+            colliding_stations: 0,
+            probe_corruptions: 0,
+            half_target: n.div_ceil(2),
+            half_time: Nanos::ZERO,
+            half_cw_slots: 0,
+            total_time: Nanos::ZERO,
+            final_cw_slots: 0,
+            done: n == 0,
+            estimating: 0,
+            round_index: 0,
+            round_had_busy: false,
+            trace: config.capture_trace.then(|| Trace::new(n)),
+        }
+    }
+
+    fn init(&mut self) {
+        let trunc = self.config.truncation();
+        let best_of_k = self.config.best_of_k();
+        for _ in 0..self.n {
+            let mut station = Station {
+                state: State::WaitDifs,
+                schedule: None,
+                remaining: 0,
+                expiry_at: Nanos::MAX,
+                resume_at: Nanos::ZERO,
+                gen: 0,
+                estim: None,
+                estimate: None,
+                metrics: StationMetrics::default(),
+            };
+            if let Some(spec) = best_of_k {
+                station.state = State::Estimating;
+                station.estim = Some(EstimState::new(spec));
+                self.estimating += 1;
+            } else {
+                let mut schedule = self
+                    .config
+                    .algorithm
+                    .schedule(trunc)
+                    .expect("non-estimating algorithms have schedules");
+                let cw = schedule.next_window() as u64;
+                station.remaining = self.rng.gen_range(0..cw);
+                station.schedule = Some(schedule);
+            }
+            self.stations.push(station);
+        }
+        if best_of_k.is_some() {
+            self.queue.schedule(Nanos::ZERO, Event::EstimationRound);
+        } else if self.n > 0 {
+            self.queue
+                .schedule(self.config.phy.difs, Event::GlobalDifs { gen: self.difs_gen });
+        }
+    }
+
+    fn run(&mut self) {
+        while !self.done {
+            let Some((now, event)) = self.queue.pop() else { break };
+            if now > self.config.max_sim_time {
+                break;
+            }
+            match event {
+                Event::GlobalDifs { gen } => self.on_global_difs(gen),
+                Event::PersonalDifs { station, gen } => self.on_personal_difs(station, gen),
+                Event::BackoffExpire { station, gen } => self.on_backoff_expire(station, gen),
+                Event::TxEnd { id } => self.on_tx_end(id),
+                Event::AckStart { station, tag } => self.on_ack_start(station, tag),
+                Event::CtsStart { station, tag } => self.on_cts_start(station, tag),
+                Event::DataStart { station } => self.on_data_start(station),
+                Event::AckTimeout { station, gen } => self.on_ack_timeout(station, gen),
+                Event::EstimationRound => self.on_estimation_round(),
+            }
+        }
+    }
+
+    fn finish(self) -> MacRun {
+        let now = self.queue.now();
+        let cw_slots = if self.done { self.final_cw_slots } else { self.cw_slots_now(now) };
+        let total_time = if self.done { self.total_time } else { now };
+        MacRun {
+            metrics: BatchMetrics {
+                n: self.n,
+                successes: self.successes,
+                total_time,
+                half_time: self.half_time,
+                cw_slots,
+                half_cw_slots: self.half_cw_slots,
+                collisions: self.collisions,
+                colliding_stations: self.colliding_stations,
+                stations: self.stations.iter().map(|s| s.metrics).collect(),
+            },
+            estimates: self.stations.iter().map(|s| s.estimate).collect(),
+            probe_corruptions: self.probe_corruptions,
+            trace: self.trace,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Contention-window time accounting
+    // ------------------------------------------------------------------
+
+    fn cw_slots_now(&self, now: Nanos) -> u64 {
+        let mut total = self.cw_time;
+        if let Some(open) = self.cw_open_at {
+            total += now - open;
+        }
+        total.div_floor(self.config.phy.slot)
+    }
+
+    fn close_cw_interval(&mut self, now: Nanos) {
+        if let Some(open) = self.cw_open_at.take() {
+            self.cw_time += now - open;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backoff state transitions
+    // ------------------------------------------------------------------
+
+    fn resume_countdown(&mut self, station: u32, now: Nanos) {
+        let slot = self.config.phy.slot;
+        let s = &mut self.stations[station as usize];
+        debug_assert_eq!(s.state, State::WaitDifs);
+        s.state = State::Backoff;
+        s.resume_at = now;
+        s.expiry_at = now + slot * s.remaining;
+        s.gen += 1;
+        let gen = s.gen;
+        let at = s.expiry_at;
+        self.queue.schedule(at, Event::BackoffExpire { station, gen });
+        self.counting += 1;
+        if self.counting == 1 {
+            debug_assert!(self.cw_open_at.is_none());
+            self.cw_open_at = Some(now);
+        }
+    }
+
+    fn leave_backoff(&mut self, station: u32, now: Nanos) {
+        let s = &mut self.stations[station as usize];
+        debug_assert_eq!(s.state, State::Backoff);
+        s.metrics.backoff_slots += s.remaining;
+        s.remaining = 0;
+        self.counting -= 1;
+        if self.counting == 0 {
+            self.close_cw_interval(now);
+        }
+    }
+
+    /// The medium just became busy: close the CW interval, kill the pending
+    /// global DIFS, and freeze every station still counting (a station whose
+    /// expiry is exactly `now` is *not* frozen — it could not have sensed a
+    /// transmission that starts in the same instant, which is precisely how
+    /// collisions happen).
+    fn handle_busy_start(&mut self, now: Nanos) {
+        self.close_cw_interval(now);
+        self.difs_gen += 1;
+        self.round_had_busy = true;
+        let slot = self.config.phy.slot;
+        let mut frozen = 0u32;
+        for s in &mut self.stations {
+            match s.state {
+                State::Backoff if s.expiry_at > now => {
+                    let consumed = (now - s.resume_at).div_floor(slot);
+                    debug_assert!(consumed < s.remaining || s.remaining == 0);
+                    s.remaining -= consumed.min(s.remaining);
+                    s.metrics.backoff_slots += consumed;
+                    s.gen += 1;
+                    s.state = State::WaitDifs;
+                    frozen += 1;
+                }
+                State::WaitDifs => {
+                    // Kill any pending personal DIFS; the global DIFS after
+                    // this busy period will resume the station.
+                    s.gen += 1;
+                }
+                _ => {}
+            }
+        }
+        self.counting -= frozen;
+    }
+
+    /// Route a station with a drawn timer back into contention at `now`.
+    fn enter_difs_path(&mut self, station: u32, now: Nanos) {
+        let difs = self.config.phy.difs;
+        if self.medium.is_busy() {
+            self.stations[station as usize].state = State::WaitDifs;
+            return;
+        }
+        let ready = Nanos::max(now, self.medium.idle_since() + difs);
+        self.stations[station as usize].state = State::WaitDifs;
+        if ready == now {
+            self.resume_countdown(station, now);
+        } else {
+            let s = &mut self.stations[station as usize];
+            s.gen += 1;
+            let gen = s.gen;
+            self.queue.schedule(ready, Event::PersonalDifs { station, gen });
+        }
+    }
+
+    /// Draw the next window after a failure and re-enter contention.
+    fn retry(&mut self, station: u32, now: Nanos) {
+        let s = &mut self.stations[station as usize];
+        // New attempt: invalidate anything addressed to the old one (a late
+        // ACK for the abandoned attempt must not complete the new one).
+        s.gen += 1;
+        let cw = s
+            .schedule
+            .as_mut()
+            .expect("retrying station has a schedule")
+            .next_window() as u64;
+        s.remaining = self.rng.gen_range(0..cw);
+        self.enter_difs_path(station, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Frames
+    // ------------------------------------------------------------------
+
+    fn start_frame(
+        &mut self,
+        source: TxSource,
+        kind: TxKind,
+        for_station: Option<u32>,
+        tag: u64,
+        duration: Nanos,
+    ) -> u64 {
+        let now = self.queue.now();
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let tx = ActiveTx {
+            id,
+            source,
+            kind,
+            for_station,
+            tag,
+            start: now,
+            end: now + duration,
+            corrupted: false,
+        };
+        let became_busy = self.medium.start_tx(tx);
+        if became_busy {
+            self.handle_busy_start(now);
+        }
+        self.queue.schedule(now + duration, Event::TxEnd { id });
+        id
+    }
+
+    fn record_span(&mut self, station: u32, kind: SpanKind, start: Nanos, end: Nanos) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(Span { station, kind, start, end });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_global_difs(&mut self, gen: u64) {
+        if gen != self.difs_gen {
+            return;
+        }
+        debug_assert!(!self.medium.is_busy(), "GlobalDifs fired while busy");
+        let now = self.queue.now();
+        for station in 0..self.n {
+            if self.stations[station as usize].state == State::WaitDifs {
+                self.resume_countdown(station, now);
+            }
+        }
+    }
+
+    fn on_personal_difs(&mut self, station: u32, gen: u64) {
+        if gen != self.stations[station as usize].gen {
+            return;
+        }
+        debug_assert!(!self.medium.is_busy(), "PersonalDifs fired while busy");
+        let now = self.queue.now();
+        self.resume_countdown(station, now);
+    }
+
+    fn on_backoff_expire(&mut self, station: u32, gen: u64) {
+        if gen != self.stations[station as usize].gen {
+            return;
+        }
+        let now = self.queue.now();
+        debug_assert_eq!(self.stations[station as usize].state, State::Backoff);
+        debug_assert_eq!(self.stations[station as usize].expiry_at, now);
+        self.leave_backoff(station, now);
+        let s = &mut self.stations[station as usize];
+        s.state = State::Transmitting;
+        s.metrics.attempts += 1;
+        let (kind, duration) = if self.config.rts_cts {
+            (TxKind::Rts, self.config.phy.rts_time())
+        } else {
+            (TxKind::Data, self.config.phy.data_frame_time(self.config.payload_bytes))
+        };
+        let tag = self.stations[station as usize].gen;
+        self.start_frame(TxSource::Station(station), kind, None, tag, duration);
+    }
+
+    fn on_tx_end(&mut self, id: u64) {
+        let now = self.queue.now();
+        let (tx, period) = self.medium.end_tx(id, now);
+        if let Some(p) = period {
+            // The medium just went idle. Bystanders that heard only garbage
+            // must defer EIFS instead of DIFS (when the EIFS rule is on).
+            let ifs = if self.config.use_eifs && p.corrupted_frames > 0 {
+                self.config.phy.eifs()
+            } else {
+                self.config.phy.difs
+            };
+            self.queue
+                .schedule(now + ifs, Event::GlobalDifs { gen: self.difs_gen });
+            if p.corrupted_contenders >= 2 {
+                self.collisions += 1;
+                self.colliding_stations += p.corrupted_contenders as u64;
+            } else if p.corrupted_contenders == 1 {
+                self.probe_corruptions += 1;
+            }
+        }
+        match tx.kind {
+            TxKind::Data => self.on_data_end(&tx),
+            TxKind::Rts => self.on_rts_end(&tx),
+            TxKind::Cts => self.on_cts_end(&tx),
+            TxKind::Ack => self.on_ack_end(&tx),
+            TxKind::Probe => {
+                if let TxSource::Station(st) = tx.source {
+                    self.record_span(st, SpanKind::Probe, tx.start, tx.end);
+                }
+            }
+        }
+    }
+
+    fn on_data_end(&mut self, tx: &ActiveTx) {
+        let TxSource::Station(station) = tx.source else {
+            panic!("data frames come from stations");
+        };
+        let now = self.queue.now();
+        self.record_span(
+            station,
+            if tx.corrupted { SpanKind::DataFail } else { SpanKind::DataOk },
+            tx.start,
+            tx.end,
+        );
+        let ack_lost = !tx.corrupted
+            && self.config.ack_loss_prob > 0.0
+            && self.rng.gen_bool(self.config.ack_loss_prob);
+        if !tx.corrupted && !ack_lost {
+            let tag = self.stations[station as usize].gen;
+            self.queue
+                .schedule(now + self.config.phy.sifs, Event::AckStart { station, tag });
+        }
+        let s = &mut self.stations[station as usize];
+        s.state = State::AwaitingAck;
+        let gen = s.gen;
+        self.queue.schedule(
+            now + self.config.phy.ack_timeout,
+            Event::AckTimeout { station, gen },
+        );
+    }
+
+    fn on_rts_end(&mut self, tx: &ActiveTx) {
+        let TxSource::Station(station) = tx.source else {
+            panic!("RTS frames come from stations");
+        };
+        let now = self.queue.now();
+        self.record_span(station, SpanKind::Rts, tx.start, tx.end);
+        if !tx.corrupted {
+            let tag = self.stations[station as usize].gen;
+            self.queue
+                .schedule(now + self.config.phy.sifs, Event::CtsStart { station, tag });
+        }
+        let s = &mut self.stations[station as usize];
+        s.state = State::AwaitingCts;
+        let gen = s.gen;
+        self.queue.schedule(
+            now + self.config.phy.ack_timeout,
+            Event::AckTimeout { station, gen },
+        );
+    }
+
+    fn on_cts_start(&mut self, station: u32, tag: u64) {
+        self.start_frame(
+            TxSource::AccessPoint,
+            TxKind::Cts,
+            Some(station),
+            tag,
+            self.config.phy.cts_time(),
+        );
+    }
+
+    fn on_cts_end(&mut self, tx: &ActiveTx) {
+        let station = tx.for_station.expect("CTS is addressed");
+        let now = self.queue.now();
+        self.record_span(station, SpanKind::Cts, tx.start, tx.end);
+        if tx.corrupted {
+            return; // The CTS timeout will fire.
+        }
+        let s = &mut self.stations[station as usize];
+        if s.gen != tx.tag || s.state != State::AwaitingCts {
+            return; // Stale CTS: the sender already timed out and moved on.
+        }
+        s.gen += 1; // Cancel the CTS timeout.
+        s.state = State::PreparingData;
+        self.queue
+            .schedule(now + self.config.phy.sifs, Event::DataStart { station });
+    }
+
+    fn on_data_start(&mut self, station: u32) {
+        let s = &mut self.stations[station as usize];
+        debug_assert_eq!(s.state, State::PreparingData);
+        s.state = State::Transmitting;
+        let tag = s.gen;
+        let duration = self.config.phy.data_frame_time(self.config.payload_bytes);
+        self.start_frame(TxSource::Station(station), TxKind::Data, None, tag, duration);
+    }
+
+    fn on_ack_start(&mut self, station: u32, tag: u64) {
+        // The AP owns the SIFS window; it transmits without sensing.
+        self.start_frame(
+            TxSource::AccessPoint,
+            TxKind::Ack,
+            Some(station),
+            tag,
+            self.config.phy.ack_time(),
+        );
+    }
+
+    fn on_ack_end(&mut self, tx: &ActiveTx) {
+        let station = tx.for_station.expect("ACK is addressed");
+        let now = self.queue.now();
+        self.record_span(station, SpanKind::Ack, tx.start, tx.end);
+        if tx.corrupted {
+            return; // Sender never decodes it; its ACK timeout will fire.
+        }
+        let s = &mut self.stations[station as usize];
+        if s.gen != tx.tag || s.state != State::AwaitingAck {
+            // Stale ACK: the sender's timeout (configured shorter than
+            // SIFS + ACK airtime) fired first and the attempt was abandoned
+            // — the §V-B "ACK-timeout below threshold" pathology.
+            return;
+        }
+        s.gen += 1; // Cancel the ACK timeout.
+        s.state = State::Done;
+        s.metrics.success_time = Some(now);
+        self.successes += 1;
+        if self.successes == self.half_target {
+            self.half_time = now;
+            self.half_cw_slots = self.cw_slots_now(now);
+        }
+        if self.successes == self.n {
+            self.total_time = now;
+            self.final_cw_slots = self.cw_slots_now(now);
+            self.done = true;
+        }
+    }
+
+    fn on_ack_timeout(&mut self, station: u32, gen: u64) {
+        if gen != self.stations[station as usize].gen {
+            return;
+        }
+        let now = self.queue.now();
+        let timeout = self.config.phy.ack_timeout;
+        {
+            let s = &mut self.stations[station as usize];
+            debug_assert!(matches!(s.state, State::AwaitingAck | State::AwaitingCts));
+            s.metrics.ack_timeouts += 1;
+            s.metrics.ack_timeout_time += timeout;
+        }
+        self.record_span(station, SpanKind::TimeoutWait, now - timeout, now);
+        self.retry(station, now);
+    }
+
+    // ------------------------------------------------------------------
+    // BEST-OF-k estimation rounds
+    // ------------------------------------------------------------------
+
+    fn on_estimation_round(&mut self) {
+        let now = self.queue.now();
+        // 1. Close out the round that just ended.
+        if self.round_index > 0 {
+            let round_was_busy = self.round_had_busy;
+            for station in 0..self.n {
+                if self.stations[station as usize].state != State::Estimating {
+                    continue;
+                }
+                let outcome = self.stations[station as usize]
+                    .estim
+                    .as_mut()
+                    .expect("estimating station has state")
+                    .finish_round(round_was_busy);
+                if let Some(PhaseOutcome::Decide(window)) = outcome {
+                    self.finish_estimation(station, window, now);
+                }
+            }
+        }
+        if self.estimating == 0 {
+            return;
+        }
+        // 2. Begin the next round: coin flips in station order.
+        self.round_index += 1;
+        self.round_had_busy = self.medium.is_busy();
+        let probe_time = self
+            .config
+            .phy
+            .frame_time(self.config.best_of_k().expect("estimation implies spec").dummy_bytes);
+        for station in 0..self.n {
+            if self.stations[station as usize].state != State::Estimating {
+                continue;
+            }
+            let p = self.stations[station as usize]
+                .estim
+                .as_ref()
+                .expect("estimating station has state")
+                .send_probability();
+            let send = self.rng.gen_bool(p);
+            self.stations[station as usize]
+                .estim
+                .as_mut()
+                .expect("estimating station has state")
+                .begin_round(if send { RoundAction::Send } else { RoundAction::Sense });
+            if send {
+                let tag = self.stations[station as usize].gen;
+                self.start_frame(TxSource::Station(station), TxKind::Probe, None, tag, probe_time);
+            }
+        }
+        let round = self.config.best_of_k().expect("estimation implies spec").round;
+        self.queue.schedule(now + round, Event::EstimationRound);
+    }
+
+    fn finish_estimation(&mut self, station: u32, window: u32, now: Nanos) {
+        let trunc = self.config.truncation();
+        let s = &mut self.stations[station as usize];
+        s.estimate = Some(window);
+        s.estim = None;
+        let mut schedule = Schedule::fixed(window, trunc);
+        let cw = schedule.next_window() as u64;
+        s.remaining = self.rng.gen_range(0..cw);
+        s.schedule = Some(schedule);
+        self.estimating -= 1;
+        self.enter_difs_path(station, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::algorithm::AlgorithmKind;
+    use contention_core::rng::{experiment_tag, trial_rng};
+
+    fn run(kind: AlgorithmKind, payload: u32, n: u32, trial: u32) -> MacRun {
+        let config = MacConfig::paper(kind, payload);
+        let mut rng = trial_rng(experiment_tag("mac-test"), kind, n, trial);
+        simulate(&config, n, &mut rng)
+    }
+
+    #[test]
+    fn single_station_timing_is_exact() {
+        // n = 1, BEB, 64 B: DIFS + 0 backoff slots (CW = 1 ⇒ timer 0) +
+        // DATA(preamble + 128 B) + SIFS + ACK(preamble + 14 B).
+        let run = run(AlgorithmKind::Beb, 64, 1, 0);
+        let m = &run.metrics;
+        assert_eq!(m.successes, 1);
+        assert_eq!(m.collisions, 0);
+        assert_eq!(m.cw_slots, 0);
+        let expected = 34_000 + (20_000 + 18_962) + 16_000 + (20_000 + 2_074);
+        assert_eq!(m.total_time.as_nanos(), expected);
+        assert_eq!(m.half_time, m.total_time); // ⌈1/2⌉ = 1
+        assert!(m.attempts_balance());
+    }
+
+    #[test]
+    fn two_stations_collide_then_finish() {
+        // BEB with CWmin = 1: both transmit immediately and collide; they
+        // must eventually separate and both finish.
+        let r = run(AlgorithmKind::Beb, 64, 2, 0);
+        let m = &r.metrics;
+        assert_eq!(m.successes, 2);
+        assert!(m.collisions >= 1);
+        assert_eq!(m.colliding_stations, m.total_ack_timeouts());
+        assert!(m.attempts_balance());
+        assert!(m.total_time > Nanos::from_micros(200));
+    }
+
+    #[test]
+    fn batch_completes_for_every_algorithm() {
+        for kind in AlgorithmKind::PAPER_SET {
+            let r = run(kind, 64, 40, 1);
+            assert_eq!(r.metrics.successes, 40, "{kind}");
+            assert!(r.metrics.attempts_balance(), "{kind}");
+            assert!(r.metrics.half_time <= r.metrics.total_time, "{kind}");
+            assert!(r.metrics.half_cw_slots <= r.metrics.cw_slots, "{kind}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = run(AlgorithmKind::LogBackoff, 64, 30, 5);
+        let b = run(AlgorithmKind::LogBackoff, 64, 30, 5);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn fixed_window_single_station_counts_its_slots() {
+        // One station, fixed CW of 64: the drawn timer is the only CW time.
+        let config = MacConfig::paper(AlgorithmKind::Fixed { window: 64 }, 64);
+        let mut rng = trial_rng(experiment_tag("mac-test"), AlgorithmKind::Fixed { window: 64 }, 1, 2);
+        let r = simulate(&config, 1, &mut rng);
+        let m = &r.metrics;
+        assert_eq!(m.successes, 1);
+        assert_eq!(m.cw_slots, m.stations[0].backoff_slots);
+        // Total time = DIFS + slots·9µs + exchange.
+        let exchange = 38_962 + 16_000 + 22_074;
+        let expected = 34_000 + m.cw_slots * 9_000 + exchange;
+        assert_eq!(m.total_time.as_nanos(), expected);
+    }
+
+    #[test]
+    fn larger_payloads_take_longer() {
+        let small = run(AlgorithmKind::Beb, 64, 30, 3).metrics.total_time;
+        let large = run(AlgorithmKind::Beb, 1024, 30, 3).metrics.total_time;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn trace_has_no_station_overlaps_and_covers_all() {
+        let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
+        config.capture_trace = true;
+        let mut rng = trial_rng(experiment_tag("mac-trace"), AlgorithmKind::Beb, 20, 0);
+        let r = simulate(&config, 20, &mut rng);
+        let trace = r.trace.expect("trace captured");
+        assert!(trace.first_overlap().is_none(), "{:?}", trace.first_overlap());
+        // Every station shows at least one data span and one ACK span.
+        for st in 0..20 {
+            let spans = trace.station_spans(st);
+            assert!(spans.iter().any(|s| matches!(s.kind, SpanKind::DataOk | SpanKind::DataFail)));
+            assert!(spans.iter().any(|s| s.kind == SpanKind::Ack));
+        }
+    }
+
+    #[test]
+    fn ack_timeouts_match_trace_failures() {
+        let mut config = MacConfig::paper(AlgorithmKind::Sawtooth, 64);
+        config.capture_trace = true;
+        let mut rng = trial_rng(experiment_tag("mac-trace2"), AlgorithmKind::Sawtooth, 15, 0);
+        let r = simulate(&config, 15, &mut rng);
+        let trace = r.trace.expect("trace");
+        let failed_sends = trace.spans.iter().filter(|s| s.kind == SpanKind::DataFail).count();
+        let timeouts = trace.spans.iter().filter(|s| s.kind == SpanKind::TimeoutWait).count();
+        assert_eq!(failed_sends as u64, r.metrics.total_ack_timeouts());
+        assert_eq!(timeouts as u64, r.metrics.total_ack_timeouts());
+    }
+
+    #[test]
+    fn rts_cts_mode_completes_and_differs() {
+        let mut config = MacConfig::paper(AlgorithmKind::Beb, 1024);
+        config.rts_cts = true;
+        let mut rng = trial_rng(experiment_tag("mac-rts"), AlgorithmKind::Beb, 25, 0);
+        let with_rts = simulate(&config, 25, &mut rng);
+        assert_eq!(with_rts.metrics.successes, 25);
+        assert!(with_rts.metrics.attempts_balance());
+        let plain = run(AlgorithmKind::Beb, 1024, 25, 0);
+        assert_ne!(with_rts.metrics.total_time, plain.metrics.total_time);
+    }
+
+    #[test]
+    fn best_of_k_estimates_and_completes() {
+        let kind = AlgorithmKind::BestOfK { k: 5 };
+        let config = MacConfig::paper(kind, 64);
+        let mut rng = trial_rng(experiment_tag("mac-bok"), kind, 50, 0);
+        let r = simulate(&config, 50, &mut rng);
+        assert_eq!(r.metrics.successes, 50);
+        let estimates: Vec<u32> = r.estimates.iter().map(|e| e.expect("estimated")).collect();
+        // §VI: the estimate cannot badly underestimate; with 50 stations no
+        // station should settle below 32, and most should be ≥ 64.
+        assert!(estimates.iter().all(|&w| w >= 16), "{estimates:?}");
+        let overestimates = estimates.iter().filter(|&&w| w >= 50).count();
+        assert!(overestimates * 10 >= estimates.len() * 8, "{estimates:?}");
+    }
+
+    #[test]
+    fn ack_loss_injection_forces_retries() {
+        let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
+        config.ack_loss_prob = 1.0;
+        config.max_sim_time = Nanos::from_millis(20);
+        let mut rng = trial_rng(experiment_tag("mac-loss"), AlgorithmKind::Beb, 1, 0);
+        let r = simulate(&config, 1, &mut rng);
+        // Every ACK lost: the lone station can never finish, and each
+        // "failure" is an ACK timeout with zero collisions.
+        assert_eq!(r.metrics.successes, 0);
+        assert_eq!(r.metrics.collisions, 0);
+        assert!(r.metrics.stations[0].ack_timeouts > 3);
+    }
+
+    #[test]
+    fn zero_stations() {
+        let r = run(AlgorithmKind::Beb, 64, 0, 0);
+        assert_eq!(r.metrics.successes, 0);
+        assert_eq!(r.metrics.total_time, Nanos::ZERO);
+    }
+
+    #[test]
+    fn valve_truncates_runaway_runs() {
+        let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
+        config.max_sim_time = Nanos::from_micros(50); // shorter than DIFS + data
+        let mut rng = trial_rng(experiment_tag("mac-valve"), AlgorithmKind::Beb, 10, 0);
+        let r = simulate(&config, 10, &mut rng);
+        assert!(r.metrics.successes < 10);
+    }
+}

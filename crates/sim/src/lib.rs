@@ -1,0 +1,19 @@
+//! # contention-sim
+//!
+//! Discrete-event simulation substrate for the contention-resolution
+//! reproduction:
+//!
+//! * [`event`] — a time-ordered pending-event queue with O(log n) scheduling,
+//!   stable FIFO tie-breaking at equal timestamps, and token-based lazy
+//!   cancellation (needed for backoff timers that freeze when the medium
+//!   goes busy).
+//! * [`parallel`] — a deterministic parallel trial executor built on
+//!   crossbeam scoped threads; work items are claimed through an atomic
+//!   index so the output order is always the input order regardless of
+//!   thread scheduling.
+
+pub mod event;
+pub mod parallel;
+
+pub use event::{EventQueue, EventToken};
+pub use parallel::{parallel_map, parallel_map_threads};

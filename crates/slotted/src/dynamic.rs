@@ -1,0 +1,409 @@
+//! Dynamic (long-lived) traffic under a slotted channel with explicit
+//! collision cost — the paper's §VIII question: *"Does this change when we
+//! consider … long-lived bursty traffic?"*
+//!
+//! Packets arrive over time (Poisson singles or Poisson-timed bursts) and
+//! each runs its own backoff schedule with residual timers. The channel is
+//! slotted, but — unlike the pure A0–A2 model — a transmission *occupies*
+//! the channel for a configurable number of slots:
+//!
+//! * `success_cost` slots for a successful transmission (data + SIFS + ACK
+//!   in slot units), and
+//! * `collision_cost` slots for a collision (data + ACK timeout in slot
+//!   units — the §III-B cost that A2 prices at one slot).
+//!
+//! While the channel is occupied all backoff timers freeze, exactly like
+//! DCF's carrier-sense freeze. Setting both costs to 1 recovers the abstract
+//! model; setting them from [`contention_core::model::CostModel`] gives a
+//! dynamic-traffic version of the paper's total-time accounting.
+//!
+//! Implementation note: timers are kept in *idle-slot coordinates* (a global
+//! clock that only ticks when the channel is free), so freezing is free: a
+//! busy period simply advances the wall clock without advancing the idle
+//! clock. An event due at idle-coordinate `x` fires at wall slot
+//! `x + busy_total`, where `busy_total` is the busy time accumulated before
+//! it — monotone because busy time only grows.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How packets arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Independent packets at `rate` packets per wall slot (Poisson).
+    PoissonSingles { rate: f64 },
+    /// Bursts of `size` simultaneous packets, burst instants Poisson at
+    /// `rate` bursts per wall slot — the paper's bursty regime, repeated.
+    PoissonBursts { rate: f64, size: u32 },
+}
+
+impl ArrivalProcess {
+    /// Offered load in packets per wall slot.
+    pub fn offered_load(&self) -> f64 {
+        match *self {
+            ArrivalProcess::PoissonSingles { rate } => rate,
+            ArrivalProcess::PoissonBursts { rate, size } => rate * size as f64,
+        }
+    }
+}
+
+/// Configuration of a dynamic-traffic run.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicConfig {
+    pub algorithm: AlgorithmKind,
+    pub truncation: Truncation,
+    pub arrivals: ArrivalProcess,
+    /// Wall slots during which arrivals occur; the run then drains (up to
+    /// `drain_slots` more wall slots) so latecomers can finish.
+    pub horizon_slots: u64,
+    pub drain_slots: u64,
+    /// Channel occupancy of a successful transmission, in slots (≥ 1).
+    pub success_cost: u64,
+    /// Channel occupancy of a collision, in slots (≥ 1).
+    pub collision_cost: u64,
+}
+
+impl DynamicConfig {
+    /// Pure abstract model: both costs are one slot.
+    pub fn abstract_model(algorithm: AlgorithmKind, arrivals: ArrivalProcess) -> DynamicConfig {
+        DynamicConfig {
+            algorithm,
+            truncation: Truncation::paper(),
+            arrivals,
+            horizon_slots: 50_000,
+            drain_slots: 200_000,
+            success_cost: 1,
+            collision_cost: 1,
+        }
+    }
+
+    /// Costs from the paper's 802.11g numbers for a given payload:
+    /// success ≈ ⌈(DIFS + data + SIFS + ACK)/slot⌉, collision ≈
+    /// ⌈(DIFS + data + ACK-timeout)/slot⌉.
+    pub fn mac_costs(
+        algorithm: AlgorithmKind,
+        arrivals: ArrivalProcess,
+        payload_bytes: u32,
+    ) -> DynamicConfig {
+        let phy = contention_core::params::Phy80211g::paper_defaults();
+        let success = phy.difs + phy.success_exchange_time(payload_bytes);
+        let collision = phy.difs + phy.collision_exchange_time(payload_bytes);
+        let to_slots = |d: contention_core::time::Nanos| {
+            contention_core::util::div_ceil_u64(d.as_nanos(), phy.slot.as_nanos()).max(1)
+        };
+        DynamicConfig {
+            success_cost: to_slots(success),
+            collision_cost: to_slots(collision),
+            ..DynamicConfig::abstract_model(algorithm, arrivals)
+        }
+    }
+}
+
+/// Aggregate results of a dynamic run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicMetrics {
+    /// Packets that arrived during the horizon.
+    pub offered: u64,
+    /// Packets that completed before the drain deadline.
+    pub completed: u64,
+    /// Wall slots the run covered (arrival horizon + drain actually used).
+    pub wall_slots: u64,
+    /// Disjoint collisions.
+    pub collisions: u64,
+    /// Mean packet latency (arrival → success) in wall slots, over
+    /// completed packets.
+    pub mean_latency: f64,
+    /// 95th-percentile latency in wall slots.
+    pub p95_latency: f64,
+    /// Largest observed latency.
+    pub max_latency: u64,
+    /// Throughput: completed packets per wall slot.
+    pub throughput: f64,
+}
+
+impl DynamicMetrics {
+    /// Fraction of offered packets that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The dynamic-traffic simulator.
+pub struct DynamicSim {
+    config: DynamicConfig,
+}
+
+struct Packet {
+    arrival_wall: u64,
+    schedule: Schedule,
+}
+
+impl DynamicSim {
+    pub fn new(config: DynamicConfig) -> DynamicSim {
+        assert!(config.success_cost >= 1 && config.collision_cost >= 1);
+        assert!(
+            !matches!(config.algorithm, AlgorithmKind::BestOfK { .. }),
+            "{} has no static window schedule",
+            config.algorithm
+        );
+        assert!(config.arrivals.offered_load() > 0.0, "arrival rate must be positive");
+        DynamicSim { config }
+    }
+
+    /// Runs one trial.
+    pub fn run<R: Rng>(&mut self, rng: &mut R) -> DynamicMetrics {
+        let cfg = self.config;
+        // 1. Generate arrivals in wall time.
+        let mut arrivals: Vec<u64> = Vec::new();
+        match cfg.arrivals {
+            ArrivalProcess::PoissonSingles { rate } => {
+                let mut t = 0.0f64;
+                loop {
+                    t += exp_sample(rng, rate);
+                    if t >= cfg.horizon_slots as f64 {
+                        break;
+                    }
+                    arrivals.push(t as u64);
+                }
+            }
+            ArrivalProcess::PoissonBursts { rate, size } => {
+                let mut t = 0.0f64;
+                loop {
+                    t += exp_sample(rng, rate);
+                    if t >= cfg.horizon_slots as f64 {
+                        break;
+                    }
+                    for _ in 0..size {
+                        arrivals.push(t as u64);
+                    }
+                }
+            }
+        }
+        let offered = arrivals.len() as u64;
+
+        // 2. Event loop in idle-slot coordinates.
+        let mut packets: Vec<Packet> = Vec::with_capacity(arrivals.len());
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut next_arrival = 0usize;
+        let mut busy_total: u64 = 0;
+        let mut last_idle: u64 = 0;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut collisions: u64 = 0;
+        let mut wall_now: u64 = 0;
+        let deadline = cfg.horizon_slots + cfg.drain_slots;
+        let mut group: Vec<u32> = Vec::new();
+
+        loop {
+            // Ingest every arrival that happens before the next transmission
+            // event (or all of them if the heap is empty).
+            let next_event_wall = heap
+                .peek()
+                .map(|&Reverse((x, _))| x + busy_total)
+                .unwrap_or(u64::MAX);
+            while next_arrival < arrivals.len() && arrivals[next_arrival] <= next_event_wall {
+                let wall = arrivals[next_arrival];
+                next_arrival += 1;
+                // A packet arriving during a busy period starts counting at
+                // the end of that period; its idle coordinate floor is the
+                // current idle clock.
+                let idle_coord = wall.saturating_sub(busy_total).max(last_idle);
+                let mut schedule = cfg
+                    .algorithm
+                    .schedule(cfg.truncation)
+                    .expect("checked in new()");
+                let timer = rng.gen_range(0..schedule.next_window() as u64);
+                let id = packets.len() as u32;
+                packets.push(Packet { arrival_wall: wall, schedule });
+                heap.push(Reverse((idle_coord + timer, id)));
+            }
+
+            let Some(&Reverse((x, _))) = heap.peek() else {
+                break; // Everything completed.
+            };
+            wall_now = x + busy_total;
+            if wall_now > deadline {
+                break; // Drain deadline: whatever is left is incomplete.
+            }
+            group.clear();
+            while let Some(&Reverse((gx, id))) = heap.peek() {
+                if gx != x {
+                    break;
+                }
+                heap.pop();
+                group.push(id);
+            }
+            last_idle = x + 1;
+            if group.len() == 1 {
+                let id = group[0];
+                busy_total += cfg.success_cost - 1;
+                // Success is observed at the end of the exchange.
+                let done_wall = wall_now + cfg.success_cost - 1;
+                latencies.push(done_wall - packets[id as usize].arrival_wall);
+            } else {
+                collisions += 1;
+                busy_total += cfg.collision_cost - 1;
+                for &id in &group {
+                    let packet = &mut packets[id as usize];
+                    let timer = rng.gen_range(0..packet.schedule.next_window() as u64);
+                    heap.push(Reverse((x + 1 + timer, id)));
+                }
+            }
+        }
+
+        latencies.sort_unstable();
+        let completed = latencies.len() as u64;
+        let mean_latency = if completed == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / completed as f64
+        };
+        let p95_latency = if completed == 0 {
+            0.0
+        } else {
+            latencies[((completed as f64 * 0.95) as usize).min(latencies.len() - 1)] as f64
+        };
+        DynamicMetrics {
+            offered,
+            completed,
+            wall_slots: wall_now.max(cfg.horizon_slots),
+            collisions,
+            mean_latency,
+            p95_latency,
+            max_latency: latencies.last().copied().unwrap_or(0),
+            throughput: if wall_now == 0 {
+                0.0
+            } else {
+                completed as f64 / wall_now.max(cfg.horizon_slots) as f64
+            },
+        }
+    }
+}
+
+/// Exponential inter-arrival sample with the given rate (events per slot).
+fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::rng::{experiment_tag, trial_rng};
+
+    fn run(config: DynamicConfig, trial: u32) -> DynamicMetrics {
+        let mut sim = DynamicSim::new(config);
+        let mut rng = trial_rng(experiment_tag("dynamic-test"), config.algorithm, 0, trial);
+        sim.run(&mut rng)
+    }
+
+    #[test]
+    fn light_singles_all_complete_quickly() {
+        let config = DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 0.01 },
+        );
+        let m = run(config, 0);
+        assert!(m.offered > 100, "horizon should see arrivals: {m:?}");
+        assert_eq!(m.completed, m.offered, "{m:?}");
+        // At 1% load packets rarely meet: latency stays tiny.
+        assert!(m.mean_latency < 10.0, "{m:?}");
+    }
+
+    #[test]
+    fn offered_load_accounts_bursts() {
+        let p = ArrivalProcess::PoissonBursts { rate: 0.001, size: 50 };
+        assert!((p.offered_load() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_fails_to_complete() {
+        // Offered load 2 packets/slot with unit costs cannot all clear.
+        let mut config = DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 2.0 },
+        );
+        config.horizon_slots = 5_000;
+        config.drain_slots = 5_000;
+        let m = run(config, 0);
+        assert!(m.completion_rate() < 0.9, "{m:?}");
+    }
+
+    #[test]
+    fn collision_cost_slows_completion() {
+        let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0005, size: 40 };
+        let cheap = run(DynamicConfig::abstract_model(AlgorithmKind::LogBackoff, arrivals), 1);
+        let pricey = run(
+            DynamicConfig {
+                collision_cost: 13,
+                success_cost: 13,
+                ..DynamicConfig::abstract_model(AlgorithmKind::LogBackoff, arrivals)
+            },
+            1,
+        );
+        assert_eq!(cheap.offered, pricey.offered, "same seed, same arrivals");
+        assert!(
+            pricey.mean_latency > cheap.mean_latency,
+            "cheap {cheap:?} vs pricey {pricey:?}"
+        );
+    }
+
+    #[test]
+    fn mac_costs_match_phy_arithmetic() {
+        let config = DynamicConfig::mac_costs(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 0.001 },
+            64,
+        );
+        // DIFS 34 + data 38.96 + SIFS 16 + ACK 22.07 ≈ 111 µs → 13 slots;
+        // DIFS 34 + data 38.96 + timeout 75 ≈ 148 µs → 17 slots.
+        assert_eq!(config.success_cost, 13);
+        assert_eq!(config.collision_cost, 17);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = DynamicConfig::abstract_model(
+            AlgorithmKind::Sawtooth,
+            ArrivalProcess::PoissonBursts { rate: 0.001, size: 20 },
+        );
+        assert_eq!(run(config, 3), run(config, 3));
+        assert_ne!(run(config, 3), run(config, 4));
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let config = DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonBursts { rate: 0.0008, size: 30 },
+        );
+        let m = run(config, 5);
+        assert!(m.mean_latency <= m.p95_latency + 1e-9, "{m:?}");
+        assert!(m.p95_latency <= m.max_latency as f64, "{m:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no static window schedule")]
+    fn best_of_k_rejected() {
+        let _ = DynamicSim::new(DynamicConfig::abstract_model(
+            AlgorithmKind::BestOfK { k: 3 },
+            ArrivalProcess::PoissonSingles { rate: 0.1 },
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = DynamicSim::new(DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 0.0 },
+        ));
+    }
+}

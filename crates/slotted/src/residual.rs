@@ -1,0 +1,228 @@
+//! Residual-timer execution of a single batch under A0–A2.
+//!
+//! 802.11's DCF does not wait out windows: after every failure a station
+//! draws a fresh timer uniformly from `[0, CW−1]` (CW grown per its
+//! algorithm) and transmits when the countdown expires. This module runs that
+//! semantics inside the *abstract* collision model — no carrier sensing, no
+//! transmission time, no ACKs — so that the effect of window semantics can be
+//! separated from the effect of collision cost when interpreting the MAC
+//! simulator's results.
+//!
+//! Implementation: a min-heap of absolute transmission slots. All stations
+//! popped at the same slot form the transmission set; singletons succeed,
+//! larger sets collide and redraw.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::metrics::{BatchMetrics, StationMetrics};
+use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
+use contention_core::time::Nanos;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration for one residual-timer run.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualConfig {
+    /// Which backoff algorithm every station runs.
+    pub algorithm: AlgorithmKind,
+    /// Window clamping; Table I's 1/1024 by default, because this semantics
+    /// exists to mirror the MAC layer.
+    pub truncation: Truncation,
+    /// Slot duration for `total_time = cw_slots × slot`.
+    pub slot: Nanos,
+    /// Abort valve in transmission events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl ResidualConfig {
+    pub fn paper(algorithm: AlgorithmKind) -> ResidualConfig {
+        ResidualConfig {
+            algorithm,
+            truncation: Truncation::paper(),
+            slot: Nanos::from_micros(9),
+            max_events: 0,
+        }
+    }
+}
+
+/// The residual-timer simulator.
+pub struct ResidualSim {
+    config: ResidualConfig,
+}
+
+impl ResidualSim {
+    pub fn new(config: ResidualConfig) -> ResidualSim {
+        assert!(
+            !matches!(config.algorithm, AlgorithmKind::BestOfK { .. }),
+            "{} has no static window schedule; use the MAC simulator",
+            config.algorithm
+        );
+        ResidualSim { config }
+    }
+
+    /// Runs one single-batch trial of `n` stations.
+    pub fn run<R: Rng>(&mut self, n: u32, rng: &mut R) -> BatchMetrics {
+        let mut metrics = BatchMetrics {
+            n,
+            stations: vec![StationMetrics::default(); n as usize],
+            ..BatchMetrics::default()
+        };
+        if n == 0 {
+            return metrics;
+        }
+        let half_target = n.div_ceil(2);
+
+        // Per-station schedule state.
+        let mut schedules: Vec<Schedule> = (0..n)
+            .map(|_| {
+                self.config
+                    .algorithm
+                    .schedule(self.config.truncation)
+                    .expect("checked in new()")
+            })
+            .collect();
+
+        // Heap of (transmission slot, station), earliest first. Stations are
+        // pushed in index order, so equal-slot groups are deterministic.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(n as usize);
+        for station in 0..n {
+            let cw = schedules[station as usize].next_window() as u64;
+            let timer = rng.gen_range(0..cw);
+            metrics.stations[station as usize].backoff_slots += timer;
+            heap.push(Reverse((timer, station)));
+        }
+
+        let mut events: u64 = 0;
+        let mut group: Vec<u32> = Vec::new();
+        while let Some(&Reverse((slot, _))) = heap.peek() {
+            if self.config.max_events != 0 && events >= self.config.max_events {
+                break;
+            }
+            events += 1;
+
+            group.clear();
+            while let Some(&Reverse((s, station))) = heap.peek() {
+                if s != slot {
+                    break;
+                }
+                heap.pop();
+                group.push(station);
+            }
+
+            if group.len() == 1 {
+                let station = group[0];
+                let s = &mut metrics.stations[station as usize];
+                s.attempts += 1;
+                s.success_time = Some(self.config.slot * (slot + 1));
+                metrics.successes += 1;
+                if metrics.successes == half_target {
+                    metrics.half_cw_slots = slot + 1;
+                }
+                if metrics.successes == n {
+                    metrics.cw_slots = slot + 1;
+                }
+            } else {
+                metrics.collisions += 1;
+                metrics.colliding_stations += group.len() as u64;
+                for &station in &group {
+                    let s = &mut metrics.stations[station as usize];
+                    s.attempts += 1;
+                    s.ack_timeouts += 1;
+                    let cw = schedules[station as usize].next_window() as u64;
+                    let timer = rng.gen_range(0..cw);
+                    s.backoff_slots += timer;
+                    // Redraw counts from the slot after the collision.
+                    heap.push(Reverse((slot + 1 + timer, station)));
+                }
+            }
+        }
+
+        metrics.total_time = self.config.slot * metrics.cw_slots;
+        metrics.half_time = self.config.slot * metrics.half_cw_slots;
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::rng::{experiment_tag, trial_rng};
+
+    fn run_once(kind: AlgorithmKind, n: u32, trial: u32) -> BatchMetrics {
+        let mut sim = ResidualSim::new(ResidualConfig::paper(kind));
+        let mut rng = trial_rng(experiment_tag("residual-test"), kind, n, trial);
+        sim.run(n, &mut rng)
+    }
+
+    #[test]
+    fn all_packets_finish() {
+        for kind in AlgorithmKind::PAPER_SET {
+            let m = run_once(kind, 100, 0);
+            assert_eq!(m.successes, 100, "{kind}");
+        }
+    }
+
+    #[test]
+    fn accounting_invariants() {
+        for trial in 0..5 {
+            let m = run_once(AlgorithmKind::LogLogBackoff, 75, trial);
+            assert!(m.attempts_balance());
+            assert!(m.colliding_stations >= 2 * m.collisions);
+            assert!(m.half_cw_slots <= m.cw_slots);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = run_once(AlgorithmKind::Beb, 90, 3);
+        let b = run_once(AlgorithmKind::Beb, 90, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_station_first_slot() {
+        // One BEB station draws from CW=1, i.e. timer 0 → succeeds in slot 0
+        // (reported 1-based).
+        let m = run_once(AlgorithmKind::Beb, 1, 0);
+        assert_eq!(m.cw_slots, 1);
+        assert_eq!(m.collisions, 0);
+    }
+
+    #[test]
+    fn residual_timers_still_order_algorithms_by_cw_slots() {
+        // The semantics change must not flip Table II's ordering of BEB vs
+        // STB at moderate scale. Untruncated windows: near CWmax saturation
+        // (n approaching 1024) STB's backon cycles are pathological under
+        // the cap, which is a truncation artifact, not a semantics question.
+        let med = |kind: AlgorithmKind| -> u64 {
+            let mut xs: Vec<u64> = (0..9)
+                .map(|t| {
+                    let mut config = ResidualConfig::paper(kind);
+                    config.truncation = Truncation::unbounded();
+                    let mut sim = ResidualSim::new(config);
+                    let mut rng = trial_rng(experiment_tag("residual-test"), kind, 800, t);
+                    sim.run(800, &mut rng).cw_slots
+                })
+                .collect();
+            xs.sort_unstable();
+            xs[4]
+        };
+        assert!(med(AlgorithmKind::Sawtooth) < med(AlgorithmKind::Beb));
+    }
+
+    #[test]
+    fn max_events_valve() {
+        let mut config = ResidualConfig::paper(AlgorithmKind::Beb);
+        config.max_events = 3;
+        let mut sim = ResidualSim::new(config);
+        let mut rng = trial_rng(experiment_tag("valve"), AlgorithmKind::Beb, 200, 0);
+        let m = sim.run(200, &mut rng);
+        assert!(m.successes < 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "no static window schedule")]
+    fn best_of_k_is_rejected() {
+        let _ = ResidualSim::new(ResidualConfig::paper(AlgorithmKind::BestOfK { k: 5 }));
+    }
+}

@@ -1,0 +1,287 @@
+//! Aligned-window execution of a single batch under A0–A2.
+//!
+//! All stations arrive at slot 0 running the same algorithm, so at every
+//! point the alive stations are in the same window of the same size (a
+//! station that fails waits until the end of the window — Figure 2). Each
+//! window resolves as one balls-into-bins round: stations pick slots
+//! uniformly; singleton slots succeed, multi-occupancy slots are disjoint
+//! collisions.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::metrics::{BatchMetrics, StationMetrics};
+use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
+use contention_core::time::Nanos;
+use rand::Rng;
+
+/// Configuration for one abstract windowed run.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedConfig {
+    /// Which backoff algorithm every station runs.
+    pub algorithm: AlgorithmKind,
+    /// Window clamping. The abstract model is unbounded by default
+    /// (§V-B notes the 1024 cap "differs from the abstract model").
+    pub truncation: Truncation,
+    /// Slot duration used only to express `total_time = cw_slots × slot`.
+    pub slot: Nanos,
+    /// Safety valve: abort after this many windows (0 = no limit). A run
+    /// that trips the valve returns with `successes < n`.
+    pub max_windows: u32,
+}
+
+impl WindowedConfig {
+    /// Abstract-model defaults for an algorithm: unbounded windows, 9 µs
+    /// slots.
+    pub fn abstract_model(algorithm: AlgorithmKind) -> WindowedConfig {
+        WindowedConfig {
+            algorithm,
+            truncation: Truncation::unbounded(),
+            slot: Nanos::from_micros(9),
+            max_windows: 0,
+        }
+    }
+
+    /// Same, but clamped to the 802.11g CWmin/CWmax of Table I.
+    pub fn truncated_model(algorithm: AlgorithmKind) -> WindowedConfig {
+        WindowedConfig {
+            truncation: Truncation::paper(),
+            ..WindowedConfig::abstract_model(algorithm)
+        }
+    }
+}
+
+/// The aligned-window simulator.
+pub struct WindowedSim {
+    config: WindowedConfig,
+    schedule: Schedule,
+    /// Occupancy counter per slot of the current window (reused across
+    /// windows; only touched slots are reset).
+    occupancy: Vec<u32>,
+    /// Marks collision slots already counted this window.
+    counted: Vec<bool>,
+}
+
+impl WindowedSim {
+    /// Builds a simulator; panics for algorithms without a static window
+    /// schedule (BEST-OF-k belongs to the MAC simulator).
+    pub fn new(config: WindowedConfig) -> WindowedSim {
+        let schedule = config
+            .algorithm
+            .schedule(config.truncation)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} has no static window schedule; use the MAC simulator",
+                    config.algorithm
+                )
+            });
+        WindowedSim { config, schedule, occupancy: Vec::new(), counted: Vec::new() }
+    }
+
+    /// Runs one single-batch trial of `n` stations.
+    pub fn run<R: Rng>(&mut self, n: u32, rng: &mut R) -> BatchMetrics {
+        self.schedule.reset();
+        let mut metrics = BatchMetrics {
+            n,
+            stations: vec![StationMetrics::default(); n as usize],
+            ..BatchMetrics::default()
+        };
+        if n == 0 {
+            return metrics;
+        }
+
+        let half_target = n.div_ceil(2);
+        // Stations alive, identified by index into `metrics.stations`.
+        let mut alive: Vec<u32> = (0..n).collect();
+        let mut done = vec![false; n as usize];
+        // Draws of the current window: (station, slot).
+        let mut draws: Vec<(u32, usize)> = Vec::with_capacity(n as usize);
+        // Successes of the current window, ordered by slot for half-way
+        // bookkeeping: (slot, station).
+        let mut window_successes: Vec<(usize, u32)> = Vec::new();
+        let mut slots_before_window: u64 = 0;
+        let mut windows_run: u32 = 0;
+
+        while !alive.is_empty() {
+            if self.config.max_windows != 0 && windows_run >= self.config.max_windows {
+                break;
+            }
+            windows_run += 1;
+            let width = self.schedule.next_window() as usize;
+            if self.occupancy.len() < width {
+                self.occupancy.resize(width, 0);
+                self.counted.resize(width, false);
+            }
+
+            draws.clear();
+            for &station in &alive {
+                let slot = rng.gen_range(0..width);
+                draws.push((station, slot));
+                self.occupancy[slot] += 1;
+            }
+
+            window_successes.clear();
+            for &(station, slot) in &draws {
+                let s = &mut metrics.stations[station as usize];
+                s.attempts += 1;
+                s.backoff_slots += slot as u64;
+                if self.occupancy[slot] == 1 {
+                    window_successes.push((slot, station));
+                } else {
+                    // A1 failure; under A2 the station learns it in-slot at
+                    // zero extra cost, which is the assumption under test.
+                    s.ack_timeouts += 1;
+                    if !self.counted[slot] {
+                        self.counted[slot] = true;
+                        metrics.collisions += 1;
+                    }
+                    metrics.colliding_stations += 1;
+                }
+            }
+
+            window_successes.sort_unstable();
+            for &(slot, station) in &window_successes {
+                done[station as usize] = true;
+                metrics.successes += 1;
+                let at_slot = slots_before_window + slot as u64 + 1;
+                metrics.stations[station as usize].success_time =
+                    Some(self.config.slot * at_slot);
+                if metrics.successes == half_target {
+                    metrics.half_cw_slots = at_slot;
+                }
+                if metrics.successes == n {
+                    metrics.cw_slots = at_slot;
+                }
+            }
+
+            // Reset only the touched slots (windows can be huge; zeroing the
+            // whole buffer every window would dominate the run time).
+            for &(_, slot) in &draws {
+                self.occupancy[slot] = 0;
+                self.counted[slot] = false;
+            }
+
+            if window_successes.len() == alive.len() {
+                alive.clear();
+            } else if !window_successes.is_empty() {
+                alive.retain(|&st| !done[st as usize]);
+            }
+            slots_before_window += width as u64;
+        }
+
+        metrics.total_time = self.config.slot * metrics.cw_slots;
+        metrics.half_time = self.config.slot * metrics.half_cw_slots;
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::rng::{experiment_tag, trial_rng};
+
+    fn run_once(kind: AlgorithmKind, n: u32, trial: u32) -> BatchMetrics {
+        let mut sim = WindowedSim::new(WindowedConfig::abstract_model(kind));
+        let mut rng = trial_rng(experiment_tag("windowed-test"), kind, n, trial);
+        sim.run(n, &mut rng)
+    }
+
+    #[test]
+    fn all_packets_finish() {
+        for kind in AlgorithmKind::PAPER_SET {
+            let m = run_once(kind, 100, 0);
+            assert_eq!(m.successes, 100, "{kind}");
+            assert!(m.stations.iter().all(|s| s.success_time.is_some()));
+        }
+    }
+
+    #[test]
+    fn single_station_succeeds_immediately_under_beb() {
+        // BEB's first window has size 1: the lone station transmits in the
+        // first slot and succeeds.
+        let m = run_once(AlgorithmKind::Beb, 1, 0);
+        assert_eq!(m.cw_slots, 1);
+        assert_eq!(m.collisions, 0);
+        assert_eq!(m.stations[0].attempts, 1);
+    }
+
+    #[test]
+    fn two_stations_collide_until_separated() {
+        let m = run_once(AlgorithmKind::Beb, 2, 1);
+        assert_eq!(m.successes, 2);
+        // Both stations must collide in the size-1 window at least once.
+        assert!(m.collisions >= 1);
+        assert!(m.stations.iter().all(|s| s.attempts >= 2));
+    }
+
+    #[test]
+    fn half_metrics_precede_full_metrics() {
+        for kind in AlgorithmKind::PAPER_SET {
+            let m = run_once(kind, 60, 2);
+            assert!(m.half_cw_slots <= m.cw_slots, "{kind}");
+            assert!(m.half_cw_slots > 0);
+        }
+    }
+
+    #[test]
+    fn collision_accounting_is_consistent() {
+        for trial in 0..5 {
+            let m = run_once(AlgorithmKind::LogBackoff, 80, trial);
+            // Every disjoint collision involves ≥ 2 stations.
+            assert!(m.colliding_stations >= 2 * m.collisions);
+            // Station-level collision events equal total ACK timeouts.
+            assert_eq!(m.colliding_stations, m.total_ack_timeouts());
+            // Attempts = successes + failures.
+            assert!(m.attempts_balance());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = run_once(AlgorithmKind::Sawtooth, 120, 7);
+        let b = run_once(AlgorithmKind::Sawtooth, 120, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stb_uses_fewer_cw_slots_than_beb_at_scale() {
+        // Table II at a size where the asymptotics already bite; median of a
+        // few trials to dodge per-trial noise.
+        let med = |kind: AlgorithmKind| -> u64 {
+            let mut xs: Vec<u64> = (0..9).map(|t| run_once(kind, 2_000, t).cw_slots).collect();
+            xs.sort_unstable();
+            xs[4]
+        };
+        let beb = med(AlgorithmKind::Beb);
+        let stb = med(AlgorithmKind::Sawtooth);
+        assert!(
+            stb < beb,
+            "STB ({stb}) should beat BEB ({beb}) on CW slots"
+        );
+    }
+
+    #[test]
+    fn max_windows_valve_truncates() {
+        let mut config = WindowedConfig::abstract_model(AlgorithmKind::Beb);
+        config.max_windows = 1;
+        let mut sim = WindowedSim::new(config);
+        let mut rng = trial_rng(experiment_tag("valve"), AlgorithmKind::Beb, 50, 0);
+        let m = sim.run(50, &mut rng);
+        // 50 stations in a single width-1 window cannot all succeed.
+        assert!(m.successes < 50);
+    }
+
+    #[test]
+    fn zero_stations_is_a_noop() {
+        let m = run_once(AlgorithmKind::Beb, 0, 0);
+        assert_eq!(m.successes, 0);
+        assert_eq!(m.cw_slots, 0);
+        assert_eq!(m.collisions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no static window schedule")]
+    fn best_of_k_is_rejected() {
+        let _ = WindowedSim::new(WindowedConfig::abstract_model(
+            AlgorithmKind::BestOfK { k: 3 },
+        ));
+    }
+}

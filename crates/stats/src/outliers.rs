@@ -1,0 +1,92 @@
+//! The paper's outlier rule (§III-A, footnote 4).
+//!
+//! "Let Δ be the distance between the first and third quartiles. Any data
+//! point that falls outside a distance of 1.5Δ from the **median** is
+//! declared an outlier." (This differs from Tukey's fences, which measure
+//! from the quartiles; we implement the paper's variant and test that it
+//! discards very little on clean data, as the paper reports.)
+
+use crate::summary::Summary;
+
+/// Returns the sample with outliers removed, plus the discarded points.
+pub fn filter_outliers(sample: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    if sample.len() < 4 {
+        // Quartiles are meaningless; keep everything.
+        return (sample.to_vec(), Vec::new());
+    }
+    let s = Summary::of(sample);
+    let delta = s.iqr();
+    let lo = s.median - 1.5 * delta;
+    let hi = s.median + 1.5 * delta;
+    let (kept, dropped) = sample.iter().partition(|&&x| (lo..=hi).contains(&x));
+    (kept, dropped)
+}
+
+/// Convenience: filter then return the kept points only.
+pub fn without_outliers(sample: &[f64]) -> Vec<f64> {
+    filter_outliers(sample).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_is_untouched() {
+        let sample: Vec<f64> = (0..30).map(|x| 100.0 + x as f64).collect();
+        let (kept, dropped) = filter_outliers(&sample);
+        assert_eq!(kept.len(), 30);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn gross_outlier_is_dropped() {
+        let mut sample: Vec<f64> = (0..29).map(|x| 100.0 + x as f64).collect();
+        sample.push(10_000.0);
+        let (kept, dropped) = filter_outliers(&sample);
+        assert_eq!(dropped, vec![10_000.0]);
+        assert_eq!(kept.len(), 29);
+    }
+
+    #[test]
+    fn measured_from_median_not_quartiles() {
+        // Construct a point outside median ± 1.5Δ but inside Tukey's
+        // Q3 + 1.5Δ fence: the paper's rule must drop it... actually the
+        // paper's rule is *stricter* on the high side when the median is
+        // below Q3. Sample: median 10, Q1 9, Q3 12 ⇒ Δ = 3; paper fence
+        // high = 14.5; Tukey fence high = 16.5. The point 15 is an outlier
+        // under the paper's rule only.
+        let sample = vec![8.0, 9.0, 9.0, 10.0, 10.0, 11.0, 12.0, 12.0, 15.0];
+        let s = Summary::of(&sample);
+        assert_eq!(s.median, 10.0);
+        let (_, dropped) = filter_outliers(&sample);
+        assert!(dropped.contains(&15.0), "dropped: {dropped:?}");
+    }
+
+    #[test]
+    fn small_samples_pass_through() {
+        let sample = vec![1.0, 1000.0, -50.0];
+        let (kept, dropped) = filter_outliers(&sample);
+        assert_eq!(kept.len(), 3);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_its_own_output() {
+        let mut sample: Vec<f64> = (0..30).map(|x| (x % 7) as f64).collect();
+        sample.extend([500.0, -500.0]);
+        let once = without_outliers(&sample);
+        let twice = without_outliers(&once);
+        // Filtering may tighten the fences slightly, but on this shape the
+        // second pass must not remove anything further.
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn constant_sample_keeps_everything() {
+        let sample = vec![5.0; 20];
+        let (kept, dropped) = filter_outliers(&sample);
+        assert_eq!(kept.len(), 20);
+        assert!(dropped.is_empty());
+    }
+}

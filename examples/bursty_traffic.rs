@@ -1,0 +1,44 @@
+//! Long-lived bursty traffic (the paper's §VIII open question): streams of
+//! packet bursts under the abstract collision model vs the same stream with
+//! 802.11g per-transmission costs.
+//!
+//! ```text
+//! cargo run --release --example bursty_traffic [-- burst_size]
+//! ```
+
+use contention_resolution::prelude::*;
+use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
+
+fn main() {
+    let burst_size: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0008, size: burst_size };
+    println!(
+        "Poisson bursts of {burst_size} packets, offered load {:.3} packets/slot\n",
+        arrivals.offered_load()
+    );
+    println!(
+        "{:>5} {:>16} {:>12} {:>18} {:>12}",
+        "alg", "A2 mean latency", "collisions", "802.11g latency", "collisions"
+    );
+    for kind in AlgorithmKind::PAPER_SET {
+        let mut row = format!("{:>5}", kind.label());
+        for config in [
+            DynamicConfig::abstract_model(kind, arrivals),
+            DynamicConfig::mac_costs(kind, arrivals, 64),
+        ] {
+            let mut sim = DynamicSim::new(config);
+            let mut rng = trial_rng(experiment_tag("bursty-example"), kind, 0, 0);
+            let m = sim.run(&mut rng);
+            row.push_str(&format!("{:>16.0} {:>12}", m.mean_latency, m.collisions));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nunder A2 (collision = 1 slot) the algorithms stay close; with 802.11g\n\
+         costs (success 13 slots, collision 17) every collision-heavy algorithm's\n\
+         latency explodes — the single-batch finding extends to traffic streams."
+    );
+}

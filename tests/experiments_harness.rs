@@ -1,0 +1,85 @@
+//! End-to-end checks of the experiment harness: every registered experiment
+//! runs at a tiny grid, produces a non-empty report, and writes valid CSVs.
+
+use contention_experiments::figures::{registry, CsvBlock};
+use contention_experiments::options::Options;
+use std::path::PathBuf;
+
+fn tiny_options() -> Options {
+    Options { full: false, trials: Some(3), out_dir: None, threads: Some(2) }
+}
+
+/// Every experiment in the registry runs to completion and says something.
+#[test]
+fn every_registered_experiment_runs() {
+    let opts = tiny_options();
+    for (name, _desc, runner) in registry() {
+        let report = runner(&opts);
+        assert!(!report.title.is_empty(), "{name}: empty title");
+        assert!(
+            report.body.lines().count() >= 2,
+            "{name}: suspiciously short body: {}",
+            report.body
+        );
+    }
+}
+
+/// CSV blocks round-trip to disk with coherent headers.
+#[test]
+fn csv_artifacts_are_written() {
+    let opts = tiny_options();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("repro-csv-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // fig3 exercises the Series writer; table1 has no CSV; fig13 exercises
+    // the Rows writer.
+    for name in ["fig3", "fig13"] {
+        let (_, _, runner) = registry()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("registered");
+        let report = runner(&opts);
+        assert!(!report.csv.is_empty(), "{name} should emit CSV");
+        report.write_csv(&dir);
+        for block in &report.csv {
+            let file = match block {
+                CsvBlock::Series { name, .. } => dir.join(format!("{name}.csv")),
+                CsvBlock::Rows { name, .. } => dir.join(format!("{name}.csv")),
+            };
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", file.display()));
+            let mut lines = text.lines();
+            let header = lines.next().expect("header row");
+            let cols = header.split(',').count();
+            assert!(cols >= 3, "{name}: too few columns in {header:?}");
+            for (i, line) in lines.enumerate() {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "{name}: row {i} arity mismatch"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The percent lines that carry the paper's headline claims are present in
+/// the figure bodies.
+#[test]
+fn headline_percent_lines_exist() {
+    let opts = tiny_options();
+    for name in ["fig3", "fig7", "fig19"] {
+        let (_, _, runner) = registry()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("registered");
+        let report = runner(&opts);
+        assert!(
+            report.body.contains("vs BEB"),
+            "{name} lost its percent line: {}",
+            report.body
+        );
+    }
+}
