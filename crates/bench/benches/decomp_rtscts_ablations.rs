@@ -13,7 +13,12 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     // Decomposition lower bound holds against the measured total.
     let n = 100;
-    let run = mac_trial("decomp-bench", &MacConfig::paper(AlgorithmKind::Beb, 64), n, 0);
+    let run = mac_trial(
+        "decomp-bench",
+        &MacConfig::paper(AlgorithmKind::Beb, 64),
+        n,
+        0,
+    );
     let d = Decomposition::from_measurements(
         &Phy80211g::paper_defaults(),
         64,
@@ -24,16 +29,23 @@ fn bench(c: &mut Criterion) {
     shape_check(
         "decomp lower bound ≤ total",
         d.lower_bound() <= run.metrics.total_time,
-        &format!("bound {} vs total {}", d.lower_bound(), run.metrics.total_time),
+        &format!(
+            "bound {} vs total {}",
+            d.lower_bound(),
+            run.metrics.total_time
+        ),
     );
     // EIFS ablation: disabling EIFS must reduce total time (collisions get
     // cheaper for bystanders).
     let mut no_eifs = MacConfig::paper(AlgorithmKind::LogBackoff, 64);
     no_eifs.use_eifs = false;
     let with_eifs = MacConfig::paper(AlgorithmKind::LogBackoff, 64);
-    let t_no = mac_median("eifs-bench", &no_eifs, n, 7, |r| r.metrics.total_time.as_micros_f64());
-    let t_yes =
-        mac_median("eifs-bench", &with_eifs, n, 7, |r| r.metrics.total_time.as_micros_f64());
+    let t_no = mac_median("eifs-bench", &no_eifs, n, 7, |r| {
+        r.metrics.total_time.as_micros_f64()
+    });
+    let t_yes = mac_median("eifs-bench", &with_eifs, n, 7, |r| {
+        r.metrics.total_time.as_micros_f64()
+    });
     shape_check(
         "eifs ablation direction",
         t_no < t_yes,
@@ -49,7 +61,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(if rts { "rts_on_1024" } else { "rts_off_1024" }, |b| {
             b.iter(|| {
                 trial = trial.wrapping_add(1);
-                mac_trial("rts-bench", &config, 60, trial).metrics.total_time
+                mac_trial("rts-bench", &config, 60, trial)
+                    .metrics
+                    .total_time
             })
         });
     }
@@ -61,7 +75,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ack_loss_5pct", |b| {
         b.iter(|| {
             trial = trial.wrapping_add(1);
-            mac_trial("loss-bench", &lossy, 60, trial).metrics.total_time
+            mac_trial("loss-bench", &lossy, 60, trial)
+                .metrics
+                .total_time
         })
     });
     group.finish();

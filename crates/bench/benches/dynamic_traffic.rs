@@ -14,7 +14,10 @@ fn run_once(config: DynamicConfig, trial: u32) -> contention_slotted::dynamic::D
 }
 
 fn bench(c: &mut Criterion) {
-    let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0008, size: 50 };
+    let arrivals = ArrivalProcess::PoissonBursts {
+        rate: 0.0008,
+        size: 50,
+    };
     // Shape check: 802.11g costs amplify LB's latency deficit vs BEB.
     let lat = |alg: AlgorithmKind, mac: bool| {
         let config = if mac {

@@ -11,9 +11,13 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let cw = |alg: AlgorithmKind| {
-        abstract_median("fig5-bench", WindowedConfig::abstract_model(alg), 150, 9, |m| {
-            m.cw_slots as f64
-        })
+        abstract_median(
+            "fig5-bench",
+            WindowedConfig::abstract_model(alg),
+            150,
+            9,
+            |m| m.cw_slots as f64,
+        )
     };
     let beb = cw(AlgorithmKind::Beb);
     let stb = cw(AlgorithmKind::Sawtooth);

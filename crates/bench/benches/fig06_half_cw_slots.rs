@@ -9,7 +9,12 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     // Shape check: for BEB, the remaining n/2 packets account for the bulk
     // of the CW slots (the paper's "straggler" observation).
-    let run = mac_trial("fig6-bench", &MacConfig::paper(AlgorithmKind::Beb, 64), 100, 0);
+    let run = mac_trial(
+        "fig6-bench",
+        &MacConfig::paper(AlgorithmKind::Beb, 64),
+        100,
+        0,
+    );
     let half = run.metrics.half_cw_slots as f64;
     let full = run.metrics.cw_slots as f64;
     shape_check(

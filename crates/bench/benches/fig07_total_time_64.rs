@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(alg.label(), |b| {
             b.iter(|| {
                 trial = trial.wrapping_add(1);
-                mac_trial("fig7-bench", &config, 60, trial).metrics.total_time
+                mac_trial("fig7-bench", &config, 60, trial)
+                    .metrics
+                    .total_time
             })
         });
     }

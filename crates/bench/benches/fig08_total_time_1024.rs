@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
     shape_check(
         "fig8 payload size widens the reversal",
         large > small && large > 0.0,
-        &format!("STB-vs-BEB gap: {:.1}% at 64B, {:.1}% at 1024B", small * 100.0, large * 100.0),
+        &format!(
+            "STB-vs-BEB gap: {:.1}% at 64B, {:.1}% at 1024B",
+            small * 100.0,
+            large * 100.0
+        ),
     );
 
     let mut group = c.benchmark_group("fig08_total_time_1024");
@@ -31,7 +35,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(alg.label(), |b| {
             b.iter(|| {
                 trial = trial.wrapping_add(1);
-                mac_trial("fig8-bench", &config, 60, trial).metrics.total_time
+                mac_trial("fig8-bench", &config, 60, trial)
+                    .metrics
+                    .total_time
             })
         });
     }

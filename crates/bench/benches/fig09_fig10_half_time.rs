@@ -21,7 +21,10 @@ fn bench(c: &mut Criterion) {
         &format!("BEB {beb:.0}µs vs STB {stb:.0}µs"),
     );
 
-    for (name, payload) in [("fig09_half_time_64", 64u32), ("fig10_half_time_1024", 1024)] {
+    for (name, payload) in [
+        ("fig09_half_time_64", 64u32),
+        ("fig10_half_time_1024", 1024),
+    ] {
         let mut group = c.benchmark_group(name);
         for alg in paper_algorithms() {
             let config = MacConfig::paper(alg, payload);
@@ -29,7 +32,9 @@ fn bench(c: &mut Criterion) {
             group.bench_function(alg.label(), |b| {
                 b.iter(|| {
                     trial = trial.wrapping_add(1);
-                    mac_trial("fig9-bench", &config, 60, trial).metrics.half_time
+                    mac_trial("fig9-bench", &config, 60, trial)
+                        .metrics
+                        .half_time
                 })
             });
         }

@@ -30,7 +30,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 trial = trial.wrapping_add(1);
                 let r = mac_trial("fig11-bench", &config, 60, trial);
-                (r.metrics.max_ack_timeouts(), r.metrics.max_ack_timeout_time())
+                (
+                    r.metrics.max_ack_timeouts(),
+                    r.metrics.max_ack_timeout_time(),
+                )
             })
         });
     }

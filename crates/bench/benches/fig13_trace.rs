@@ -22,11 +22,17 @@ fn bench(c: &mut Criterion) {
     group.bench_function("simulate_with_trace_n20", |b| {
         b.iter(|| {
             trial = trial.wrapping_add(1);
-            mac_trial("fig13-bench", &config, 20, trial).trace.map(|t| t.spans.len())
+            mac_trial("fig13-bench", &config, 20, trial)
+                .trace
+                .map(|t| t.spans.len())
         })
     });
-    let fixed = mac_trial("fig13-bench", &config, 20, 1).trace.expect("trace");
-    group.bench_function("render_ascii_120", |b| b.iter(|| fixed.render_ascii(120).len()));
+    let fixed = mac_trial("fig13-bench", &config, 20, 1)
+        .trace
+        .expect("trace");
+    group.bench_function("render_ascii_120", |b| {
+        b.iter(|| fixed.render_ascii(120).len())
+    });
     group.finish();
 }
 

@@ -24,8 +24,12 @@ fn bench(c: &mut Criterion) {
                 150,
                 trial,
             );
-            let beb =
-                mac_trial("fig14-bench", &MacConfig::paper(AlgorithmKind::Beb, payload), 150, trial);
+            let beb = mac_trial(
+                "fig14-bench",
+                &MacConfig::paper(AlgorithmKind::Beb, payload),
+                150,
+                trial,
+            );
             xs.push(payload as f64);
             ys.push(
                 llb.metrics.total_time.as_micros_f64() - beb.metrics.total_time.as_micros_f64(),
@@ -50,12 +54,18 @@ fn bench(c: &mut Criterion) {
                 60,
                 trial,
             );
-            let beb =
-                mac_trial("fig14-bench2", &MacConfig::paper(AlgorithmKind::Beb, 700), 60, trial);
+            let beb = mac_trial(
+                "fig14-bench2",
+                &MacConfig::paper(AlgorithmKind::Beb, 700),
+                60,
+                trial,
+            );
             llb.metrics.total_time.as_nanos() as i64 - beb.metrics.total_time.as_nanos() as i64
         })
     });
-    group.bench_function("ols_fit_24_points", |b| b.iter(|| linear_fit(&xs, &ys).slope));
+    group.bench_function("ols_fit_24_points", |b| {
+        b.iter(|| linear_fit(&xs, &ys).slope)
+    });
     group.finish();
 }
 

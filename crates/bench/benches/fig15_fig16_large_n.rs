@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
     let cw_beb = med(AlgorithmKind::Beb, |m| m.cw_slots as f64);
     shape_check(
         "fig15 large-n CW ordering",
-        cw_stb < cw_llb.min(cw_lb)
-            && cw_llb.max(cw_lb) < cw_beb
-            && cw_llb < cw_lb * 1.10,
+        cw_stb < cw_llb.min(cw_lb) && cw_llb.max(cw_lb) < cw_beb && cw_llb < cw_lb * 1.10,
         &format!("STB {cw_stb:.0}, LLB {cw_llb:.0}, LB {cw_lb:.0}, BEB {cw_beb:.0}"),
     );
     // Fig 16: LB's collisions exceed STB's; BEB's stay below STB's.

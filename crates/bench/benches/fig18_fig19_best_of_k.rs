@@ -43,7 +43,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("best_of_{k}_n100"), |b| {
             b.iter(|| {
                 trial = trial.wrapping_add(1);
-                mac_trial("fig19-bench2", &config, n, trial).metrics.total_time
+                mac_trial("fig19-bench2", &config, n, trial)
+                    .metrics
+                    .total_time
             })
         });
     }

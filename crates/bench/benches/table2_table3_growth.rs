@@ -15,8 +15,13 @@ fn ratio_flatness(
     let ratios: Vec<f64> = [800u32, 1_600, 3_200, 6_400]
         .iter()
         .map(|&n| {
-            let measured =
-                abstract_median("growth-bench", WindowedConfig::abstract_model(alg), n, 5, metric);
+            let measured = abstract_median(
+                "growth-bench",
+                WindowedConfig::abstract_model(alg),
+                n,
+                5,
+                metric,
+            );
             measured / bound(alg, n as u64)
         })
         .collect();
@@ -26,14 +31,18 @@ fn ratio_flatness(
 
 fn bench(c: &mut Criterion) {
     // Table II: STB's Θ(n) CW-slot bound must track measurement tightly.
-    let flat_stb = ratio_flatness(AlgorithmKind::Sawtooth, cw_slots_bound, |m| m.cw_slots as f64);
+    let flat_stb = ratio_flatness(AlgorithmKind::Sawtooth, cw_slots_bound, |m| {
+        m.cw_slots as f64
+    });
     shape_check(
         "table2 STB CW growth is linear",
         flat_stb < 1.3,
         &format!("flatness {flat_stb:.2}"),
     );
     // Table III: BEB's O(n) collision bound likewise.
-    let flat_beb = ratio_flatness(AlgorithmKind::Beb, collisions_bound, |m| m.collisions as f64);
+    let flat_beb = ratio_flatness(AlgorithmKind::Beb, collisions_bound, |m| {
+        m.collisions as f64
+    });
     shape_check(
         "table3 BEB collision growth is linear",
         flat_beb < 1.4,

@@ -6,16 +6,22 @@
 //! a once-per-process shape check so `cargo bench` doubles as a smoke test
 //! of the reproduction. The `repro` binary is the tool that prints the
 //! paper's actual rows/series.
+//!
+//! All trials route through the generic engine's
+//! [`contention_sim::engine::run_trial`], so bench numbers use exactly the
+//! same `(experiment tag, algorithm, n, trial)` RNG derivation as the
+//! sweeps — a bench trial is bit-identical to the corresponding sweep trial.
 
 use contention_core::algorithm::AlgorithmKind;
-use contention_core::rng::{experiment_tag, trial_rng};
-use contention_mac::{simulate, MacConfig, MacRun};
-use contention_slotted::windowed::{WindowedConfig, WindowedSim};
+use contention_core::metrics::BatchMetrics;
+use contention_mac::{MacConfig, MacRun, MacSim};
+use contention_sim::engine::run_trial;
+use contention_slotted::windowed::WindowedConfig;
+use contention_slotted::WindowedSim;
 
-/// One MAC trial with a deterministic per-(alg, n, trial) stream.
+/// One MAC trial with the engine's deterministic per-(alg, n, trial) stream.
 pub fn mac_trial(experiment: &str, config: &MacConfig, n: u32, trial: u32) -> MacRun {
-    let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, n, trial);
-    simulate(config, n, &mut rng)
+    run_trial::<MacSim>(experiment, config, n, trial)
 }
 
 /// Median of a metric over `trials` MAC runs.
@@ -33,16 +39,14 @@ pub fn mac_median(
     xs[xs.len() / 2]
 }
 
-/// One abstract-simulator trial.
+/// One abstract-simulator trial through the engine.
 pub fn abstract_trial(
     experiment: &str,
     config: WindowedConfig,
     n: u32,
     trial: u32,
-) -> contention_core::metrics::BatchMetrics {
-    let mut sim = WindowedSim::new(config);
-    let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, n, trial);
-    sim.run(n, &mut rng)
+) -> BatchMetrics {
+    run_trial::<WindowedSim>(experiment, &config, n, trial)
 }
 
 /// Median of a metric over `trials` abstract runs.
@@ -51,7 +55,7 @@ pub fn abstract_median(
     config: WindowedConfig,
     n: u32,
     trials: u32,
-    metric: impl Fn(&contention_core::metrics::BatchMetrics) -> f64,
+    metric: impl Fn(&BatchMetrics) -> f64,
 ) -> f64 {
     let mut xs: Vec<f64> = (0..trials)
         .map(|t| metric(&abstract_trial(experiment, config, n, t)))
@@ -79,14 +83,17 @@ pub fn shape_check(name: &str, ok: bool, detail: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use contention_sim::engine::Sweep;
 
     #[test]
     fn mac_median_is_deterministic() {
         let config = MacConfig::paper(AlgorithmKind::Beb, 64);
-        let a =
-            mac_median("bench-helper", &config, 20, 5, |r| r.metrics.total_time.as_micros_f64());
-        let b =
-            mac_median("bench-helper", &config, 20, 5, |r| r.metrics.total_time.as_micros_f64());
+        let a = mac_median("bench-helper", &config, 20, 5, |r| {
+            r.metrics.total_time.as_micros_f64()
+        });
+        let b = mac_median("bench-helper", &config, 20, 5, |r| {
+            r.metrics.total_time.as_micros_f64()
+        });
         assert_eq!(a, b);
         assert!(a > 0.0);
     }
@@ -100,6 +107,24 @@ mod tests {
             0,
         );
         assert_eq!(m.successes, 100);
+    }
+
+    #[test]
+    fn bench_trials_match_sweep_trials_bit_for_bit() {
+        // The whole point of routing benches through the engine: a bench
+        // trial and the corresponding sweep trial are the same run.
+        let config = MacConfig::paper(AlgorithmKind::LogBackoff, 64);
+        let cells = Sweep::<MacSim> {
+            experiment: "bench-vs-sweep",
+            config,
+            algorithms: vec![AlgorithmKind::LogBackoff],
+            ns: vec![15],
+            trials: 3,
+            threads: Some(2),
+        }
+        .run_raw();
+        let lone = mac_trial("bench-vs-sweep", &config, 15, 2);
+        assert_eq!(cells[0].trials[2].metrics, lone.metrics);
     }
 
     #[test]

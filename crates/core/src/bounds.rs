@@ -140,7 +140,13 @@ mod tests {
     #[test]
     fn bounds_are_finite_and_positive_for_all_small_n() {
         for n in 1..=2_000u64 {
-            for kind in [Beb, LogBackoff, LogLogBackoff, Sawtooth, Polynomial { degree: 2 }] {
+            for kind in [
+                Beb,
+                LogBackoff,
+                LogLogBackoff,
+                Sawtooth,
+                Polynomial { degree: 2 },
+            ] {
                 let w = cw_slots_bound(kind, n);
                 let c = collisions_bound(kind, n);
                 assert!(w.is_finite() && w > 0.0, "{kind:?} n={n} w={w}");

@@ -138,7 +138,7 @@ mod tests {
     }
 
     #[test]
-    fn estimation_time_is_negligible(){
+    fn estimation_time_is_negligible() {
         // §VI: estimation takes < 5 % of total time; worst case here is
         // 11 phases × 5 rounds × 35 µs = 1 925 µs, versus ≥ tens of
         // milliseconds of total time at n = 150.
@@ -162,10 +162,7 @@ mod tests {
         let s = BestOfKSpec::paper(5);
         for n in [10u32, 30, 70, 150] {
             let w = s.estimate_for_phase(s.typical_phase(n));
-            assert!(
-                w as f64 >= n as f64,
-                "estimate {w} underestimates n = {n}"
-            );
+            assert!(w as f64 >= n as f64, "estimate {w} underestimates n = {n}");
         }
     }
 

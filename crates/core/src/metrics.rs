@@ -63,7 +63,11 @@ impl BatchMetrics {
     /// Figure 11's statistic: the maximum number of ACK timeouts suffered by
     /// any single station.
     pub fn max_ack_timeouts(&self) -> u32 {
-        self.stations.iter().map(|s| s.ack_timeouts).max().unwrap_or(0)
+        self.stations
+            .iter()
+            .map(|s| s.ack_timeouts)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Figure 12's statistic: ACK-timeout waiting time of the station with
@@ -156,7 +160,10 @@ mod tests {
     fn collision_multiplicity() {
         let m = sample();
         assert!((m.mean_collision_multiplicity() - 2.5).abs() < 1e-12);
-        let empty = BatchMetrics { collisions: 0, ..sample() };
+        let empty = BatchMetrics {
+            collisions: 0,
+            ..sample()
+        };
         assert_eq!(empty.mean_collision_multiplicity(), 0.0);
     }
 

@@ -165,13 +165,8 @@ mod tests {
         // giving 13 163 µs), plus 886 slots × 9 µs.
         let phy = Phy80211g::paper_defaults();
         let collisions = (150 / 2) * 9 / 2; // = 337
-        let d = Decomposition::from_measurements(
-            &phy,
-            64,
-            collisions,
-            Nanos::from_micros(1_100),
-            886,
-        );
+        let d =
+            Decomposition::from_measurements(&phy, 64, collisions, Nanos::from_micros(1_100), 886);
         let lb = d.lower_bound().as_micros_f64();
         assert!((lb - 22_237.0).abs() < 120.0, "lower bound {lb} µs");
     }

@@ -35,13 +35,19 @@ pub struct Truncation {
 impl Truncation {
     /// The paper's values: CWmin = 1, CWmax = 1024 (Table I).
     pub fn paper() -> Truncation {
-        Truncation { cw_min: 1, cw_max: 1024 }
+        Truncation {
+            cw_min: 1,
+            cw_max: 1024,
+        }
     }
 
     /// No practical truncation — the abstract model of §I-A, where windows
     /// may grow without bound. (`u32::MAX` is unreachable in any experiment.)
     pub fn unbounded() -> Truncation {
-        Truncation { cw_min: 1, cw_max: u32::MAX }
+        Truncation {
+            cw_min: 1,
+            cw_max: u32::MAX,
+        }
     }
 
     /// Clamp a window size into `[cw_min, cw_max]`.
@@ -89,7 +95,10 @@ pub struct Beb {
 
 impl Beb {
     pub fn new(trunc: Truncation) -> Beb {
-        Beb { trunc, current: trunc.cw_min }
+        Beb {
+            trunc,
+            current: trunc.cw_min,
+        }
     }
 }
 
@@ -119,7 +128,10 @@ pub struct LogBackoff {
 
 impl LogBackoff {
     pub fn new(trunc: Truncation) -> LogBackoff {
-        LogBackoff { trunc, width: trunc.cw_min as f64 }
+        LogBackoff {
+            trunc,
+            width: trunc.cw_min as f64,
+        }
     }
 }
 
@@ -148,7 +160,10 @@ pub struct LogLogBackoff {
 
 impl LogLogBackoff {
     pub fn new(trunc: Truncation) -> LogLogBackoff {
-        LogLogBackoff { trunc, width: trunc.cw_min as f64 }
+        LogLogBackoff {
+            trunc,
+            width: trunc.cw_min as f64,
+        }
     }
 }
 
@@ -185,7 +200,11 @@ impl Sawtooth {
         // backon run (down to 2) is non-empty; with the paper's CWmin = 1
         // this makes the window sequence 2, 4, 2, 8, 4, 2, 16, 8, 4, 2, …
         let outer = trunc.cw_min.next_power_of_two().max(2).min(trunc.cw_max);
-        Sawtooth { trunc, outer, inner: outer }
+        Sawtooth {
+            trunc,
+            outer,
+            inner: outer,
+        }
     }
 }
 
@@ -218,7 +237,9 @@ pub struct FixedWindow {
 
 impl FixedWindow {
     pub fn new(window: u32, trunc: Truncation) -> FixedWindow {
-        FixedWindow { window: trunc.clamp(window.max(1)) }
+        FixedWindow {
+            window: trunc.clamp(window.max(1)),
+        }
     }
 }
 
@@ -245,7 +266,11 @@ pub struct Polynomial {
 
 impl Polynomial {
     pub fn new(degree: u32, trunc: Truncation) -> Polynomial {
-        Polynomial { trunc, degree: degree.max(1), attempt: 0 }
+        Polynomial {
+            trunc,
+            degree: degree.max(1),
+            attempt: 0,
+        }
     }
 }
 
@@ -328,11 +353,11 @@ mod tests {
 
     #[test]
     fn beb_doubles_and_saturates() {
-        let t = Truncation { cw_min: 1, cw_max: 16 };
-        assert_eq!(
-            windows(Schedule::beb(t), 7),
-            vec![1, 2, 4, 8, 16, 16, 16]
-        );
+        let t = Truncation {
+            cw_min: 1,
+            cw_max: 16,
+        };
+        assert_eq!(windows(Schedule::beb(t), 7), vec![1, 2, 4, 8, 16, 16, 16]);
     }
 
     #[test]
@@ -387,14 +412,20 @@ mod tests {
 
     #[test]
     fn sawtooth_shape() {
-        let t = Truncation { cw_min: 1, cw_max: 64 };
+        let t = Truncation {
+            cw_min: 1,
+            cw_max: 64,
+        };
         let w = windows(Schedule::sawtooth(t), 10);
         assert_eq!(w, vec![2, 4, 2, 8, 4, 2, 16, 8, 4, 2]);
     }
 
     #[test]
     fn sawtooth_saturated_cycle() {
-        let t = Truncation { cw_min: 1, cw_max: 8 };
+        let t = Truncation {
+            cw_min: 1,
+            cw_max: 8,
+        };
         let w = windows(Schedule::sawtooth(t), 12);
         // 2 | 4,2 | 8,4,2 | then cycles 8,4,2 forever.
         assert_eq!(w, vec![2, 4, 2, 8, 4, 2, 8, 4, 2, 8, 4, 2]);
@@ -402,7 +433,10 @@ mod tests {
 
     #[test]
     fn fixed_window_is_constant_and_clamped() {
-        let t = Truncation { cw_min: 2, cw_max: 100 };
+        let t = Truncation {
+            cw_min: 2,
+            cw_max: 100,
+        };
         assert_eq!(windows(Schedule::fixed(37, t), 3), vec![37, 37, 37]);
         assert_eq!(windows(Schedule::fixed(1000, t), 2), vec![100, 100]);
         assert_eq!(windows(Schedule::fixed(0, t), 1), vec![2]);

@@ -59,7 +59,14 @@ pub fn aggregate_values(x: f64, raw: &[f64]) -> SeriesPoint {
     let dropped = raw.len() - kept.len();
     let med = median(&kept);
     let (lo, hi) = median_ci95(&kept);
-    SeriesPoint { x, median: med, ci_low: lo, ci_high: hi, kept: kept.len(), dropped }
+    SeriesPoint {
+        x,
+        median: med,
+        ci_low: lo,
+        ci_high: hi,
+        kept: kept.len(),
+        dropped,
+    }
 }
 
 /// Builds one series per algorithm for a metric, over the sweep's n grid.
@@ -123,6 +130,7 @@ mod tests {
             half_time_us: 0.0,
             collisions: 0.0,
             colliding_stations: 0.0,
+            ack_timeouts: 0.0,
             max_ack_timeouts: 0.0,
             max_ack_timeout_time_us: 0.0,
             median_estimate: 0.0,
@@ -175,7 +183,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "no trials")]
     fn empty_cell_panics() {
-        let c = SweepCell { algorithm: Beb, n: 1, trials: vec![] };
+        let c = SweepCell {
+            algorithm: Beb,
+            n: 1,
+            trials: vec![],
+        };
         let _ = aggregate_cell(&c, Metric::CwSlots);
     }
 }

@@ -12,7 +12,9 @@ pub fn write_series(dir: &Path, name: &str, x_label: &str, series: &[Series]) ->
     fs::create_dir_all(dir).expect("create output directory");
     let path = dir.join(format!("{name}.csv"));
     let mut out = String::new();
-    out.push_str(&format!("{x_label},series,median,ci_low,ci_high,kept,dropped\n"));
+    out.push_str(&format!(
+        "{x_label},series,median,ci_low,ci_high,kept,dropped\n"
+    ));
     for s in series {
         for p in &s.points {
             out.push_str(&format!(
@@ -52,8 +54,7 @@ mod tests {
     use crate::aggregate::SeriesPoint;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("csvout-test-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("csvout-test-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -85,10 +86,7 @@ mod tests {
         let path = write_rows(
             &dir,
             "rows_test",
-            &[
-                vec!["a".into(), "b".into()],
-                vec!["1".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
         );
         assert_eq!(fs::read_to_string(path).unwrap(), "a,b\n1,2\n");
         fs::remove_dir_all(dir).unwrap();

@@ -13,43 +13,43 @@
 //!   ... the same costs hold": failure injection.
 //! * [`polynomial`] — the quadratic-backoff baseline from the related work
 //!   ([53]) dropped into the single-batch setting.
+//!
+//! Every ablation runs its trials through the generic sweep engine
+//! ([`single_sweep`]), varying only the config fields under study.
 
 use crate::aggregate::aggregate_cell;
-use crate::figures::shared::paper_algorithms;
+use crate::figures::shared::{paper_algorithms, raw_median, single_sweep};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::{Metric, TrialSummary};
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::params::Phy80211g;
-use contention_core::rng::{experiment_tag, trial_rng};
 use contention_core::schedule::Truncation;
 use contention_core::time::Nanos;
 use contention_core::util::percent_change;
-use contention_mac::{simulate, MacConfig};
-use contention_slotted::residual::{ResidualConfig, ResidualSim};
-use contention_slotted::windowed::{WindowedConfig, WindowedSim};
+use contention_mac::{MacConfig, MacSim};
+use contention_slotted::residual::ResidualConfig;
+use contention_slotted::windowed::WindowedConfig;
+use contention_slotted::{ResidualSim, WindowedSim};
 use contention_stats::summary::median;
 
-/// Medians of a metric over hand-rolled MAC trials (the ablations vary
-/// config fields the sweep struct does not expose).
+/// Medians of (total time µs, total ACK timeouts, successes) over one MAC
+/// cell run through the engine.
 fn mac_medians(
-    experiment: &str,
+    experiment: &'static str,
     config: &MacConfig,
     n: u32,
     trials: u32,
+    threads: Option<usize>,
 ) -> (f64, f64, f64) {
-    let mut total = Vec::new();
-    let mut timeouts = Vec::new();
-    let mut successes = Vec::new();
-    for t in 0..trials {
-        let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, n, t);
-        let run = simulate(config, n, &mut rng);
-        total.push(run.metrics.total_time.as_micros_f64());
-        timeouts.push(run.metrics.total_ack_timeouts() as f64);
-        successes.push(run.metrics.successes as f64);
-    }
-    (median(&total), median(&timeouts), median(&successes))
+    let cell = single_sweep::<MacSim>(experiment, *config, n, trials, threads);
+    let successes: Vec<f64> = cell.trials.iter().map(|t| t.successes as f64).collect();
+    (
+        raw_median(&cell, Metric::TotalTimeUs),
+        raw_median(&cell, Metric::AckTimeouts),
+        median(&successes),
+    )
 }
 
 /// ACK-timeout sweep: the cliff sits at SIFS + ACK airtime (≈ 38 µs with
@@ -70,16 +70,26 @@ pub fn ack_timeout(opts: &Options) -> Report {
         let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
         config.phy.ack_timeout = Nanos::from_micros(timeout_us);
         config.max_sim_time = Nanos::from_millis(500);
-        let (total, timeouts, successes) = mac_medians("ablate-ackto", &config, n, trials);
+        let (total, timeouts, successes) =
+            mac_medians("ablate-ackto", &config, n, trials, opts.threads);
         rows.push(vec![
             format!("{timeout_us}"),
             format!("{successes:.0}/{n}"),
-            if successes as u32 == n { format!("{total:.0}") } else { "—".into() },
+            if successes as u32 == n {
+                format!("{total:.0}")
+            } else {
+                "—".into()
+            },
             format!("{timeouts:.0}"),
         ]);
     }
     report.line(render(
-        &["ACK timeout µs".into(), "completed".into(), "total µs".into(), "ACK timeouts".into()],
+        &[
+            "ACK timeout µs".into(),
+            "completed".into(),
+            "total µs".into(),
+            "ACK timeouts".into(),
+        ],
         &rows,
     ));
     report.line(
@@ -95,7 +105,12 @@ pub fn ack_timeout(opts: &Options) -> Report {
             "ack_timeouts".to_string(),
         ])
         .chain(rows.iter().map(|r| {
-            vec![r[0].clone(), r[1].replace('/', ":"), r[2].replace('—', ""), r[3].clone()]
+            vec![
+                r[0].clone(),
+                r[1].replace('/', ":"),
+                r[2].replace('—', ""),
+                r[3].clone(),
+            ]
         }))
         .collect(),
     );
@@ -117,10 +132,15 @@ pub fn eifs(opts: &Options) -> Report {
             let mut config = MacConfig::paper(alg, 64);
             config.use_eifs = use_eifs;
             let (total, _, _) = mac_medians(
-                if use_eifs { "ablate-eifs-on" } else { "ablate-eifs-off" },
+                if use_eifs {
+                    "ablate-eifs-on"
+                } else {
+                    "ablate-eifs-off"
+                },
                 &config,
                 n,
                 trials,
+                opts.threads,
             );
             cells[i] = total;
         }
@@ -157,29 +177,26 @@ pub fn eifs(opts: &Options) -> Report {
 pub fn truncation(opts: &Options) -> Report {
     let n = 150;
     let trials = opts.trials_or(9, 30);
-    let mut report =
-        Report::new("ablation — CW truncation in the abstract model (BEB, n = 150)");
+    let mut report = Report::new("ablation — CW truncation in the abstract model (BEB, n = 150)");
     let mut rows = Vec::new();
     for (label, trunc) in [
         ("unbounded", Truncation::unbounded()),
         ("CWmax=1024 (Table I)", Truncation::paper()),
-        ("CWmax=256", Truncation { cw_min: 1, cw_max: 256 }),
+        (
+            "CWmax=256",
+            Truncation {
+                cw_min: 1,
+                cw_max: 256,
+            },
+        ),
     ] {
-        let mut cw = Vec::new();
-        let mut col = Vec::new();
-        for t in 0..trials {
-            let mut config = WindowedConfig::abstract_model(AlgorithmKind::Beb);
-            config.truncation = trunc;
-            let mut sim = WindowedSim::new(config);
-            let mut rng = trial_rng(experiment_tag("ablate-trunc"), AlgorithmKind::Beb, n, t);
-            let m = sim.run(n, &mut rng);
-            cw.push(m.cw_slots as f64);
-            col.push(m.collisions as f64);
-        }
+        let mut config = WindowedConfig::abstract_model(AlgorithmKind::Beb);
+        config.truncation = trunc;
+        let cell = single_sweep::<WindowedSim>("ablate-trunc", config, n, trials, opts.threads);
         rows.push(vec![
             label.to_string(),
-            format!("{:.0}", median(&cw)),
-            format!("{:.0}", median(&col)),
+            format!("{:.0}", raw_median(&cell, Metric::CwSlots)),
+            format!("{:.0}", raw_median(&cell, Metric::Collisions)),
         ]);
     }
     report.line(render(
@@ -202,29 +219,26 @@ pub fn semantics(opts: &Options) -> Report {
         Report::new("ablation — windowed vs residual-timer semantics (abstract model, n = 150)");
     let mut rows = Vec::new();
     for alg in paper_algorithms() {
-        let mut windowed_cw = Vec::new();
-        let mut windowed_col = Vec::new();
-        let mut residual_cw = Vec::new();
-        let mut residual_col = Vec::new();
-        for t in 0..trials {
-            let mut wsim = WindowedSim::new(WindowedConfig::truncated_model(alg));
-            let mut rng = trial_rng(experiment_tag("ablate-sem-w"), alg, n, t);
-            let m = wsim.run(n, &mut rng);
-            windowed_cw.push(m.cw_slots as f64);
-            windowed_col.push(m.collisions as f64);
-
-            let mut rsim = ResidualSim::new(ResidualConfig::paper(alg));
-            let mut rng = trial_rng(experiment_tag("ablate-sem-r"), alg, n, t);
-            let m = rsim.run(n, &mut rng);
-            residual_cw.push(m.cw_slots as f64);
-            residual_col.push(m.collisions as f64);
-        }
+        let windowed = single_sweep::<WindowedSim>(
+            "ablate-sem-w",
+            WindowedConfig::truncated_model(alg),
+            n,
+            trials,
+            opts.threads,
+        );
+        let residual = single_sweep::<ResidualSim>(
+            "ablate-sem-r",
+            ResidualConfig::paper(alg),
+            n,
+            trials,
+            opts.threads,
+        );
         rows.push(vec![
             alg.label(),
-            format!("{:.0}", median(&windowed_cw)),
-            format!("{:.0}", median(&windowed_col)),
-            format!("{:.0}", median(&residual_cw)),
-            format!("{:.0}", median(&residual_col)),
+            format!("{:.0}", raw_median(&windowed, Metric::CwSlots)),
+            format!("{:.0}", raw_median(&windowed, Metric::Collisions)),
+            format!("{:.0}", raw_median(&residual, Metric::CwSlots)),
+            format!("{:.0}", raw_median(&residual, Metric::Collisions)),
         ]);
     }
     report.line(render(
@@ -256,21 +270,12 @@ pub fn ack_loss(opts: &Options) -> Report {
         let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
         config.ack_loss_prob = loss_pct as f64 / 100.0;
         config.max_sim_time = Nanos::from_millis(5_000);
-        let mut total = Vec::new();
-        let mut timeouts = Vec::new();
-        let mut collisions = Vec::new();
-        for t in 0..trials {
-            let mut rng = trial_rng(experiment_tag("ablate-loss"), AlgorithmKind::Beb, n, t);
-            let run = simulate(&config, n, &mut rng);
-            total.push(run.metrics.total_time.as_micros_f64());
-            timeouts.push(run.metrics.total_ack_timeouts() as f64);
-            collisions.push(run.metrics.colliding_stations as f64);
-        }
+        let cell = single_sweep::<MacSim>("ablate-loss", config, n, trials, opts.threads);
         rows.push(vec![
             format!("{loss_pct}%"),
-            format!("{:.0}", median(&total)),
-            format!("{:.0}", median(&timeouts)),
-            format!("{:.0}", median(&collisions)),
+            format!("{:.0}", raw_median(&cell, Metric::TotalTimeUs)),
+            format!("{:.0}", raw_median(&cell, Metric::AckTimeouts)),
+            format!("{:.0}", raw_median(&cell, Metric::CollidingStations)),
         ]);
     }
     report.line(render(
@@ -294,8 +299,7 @@ pub fn ack_loss(opts: &Options) -> Report {
 pub fn polynomial(opts: &Options) -> Report {
     let n = 150;
     let trials = opts.trials_or(5, 20);
-    let mut report =
-        Report::new("ablation — polynomial backoff baselines (64 B, n = 150)");
+    let mut report = Report::new("ablation — polynomial backoff baselines (64 B, n = 150)");
     let mut rows = Vec::new();
     let mut beb_total = 0.0;
     let algorithms = [
@@ -306,24 +310,15 @@ pub fn polynomial(opts: &Options) -> Report {
     ];
     for alg in algorithms {
         let config = MacConfig::paper(alg, 64);
-        let mut total = Vec::new();
-        let mut cw = Vec::new();
-        let mut col = Vec::new();
-        for t in 0..trials {
-            let mut rng = trial_rng(experiment_tag("ablate-poly"), alg, n, t);
-            let run = simulate(&config, n, &mut rng);
-            total.push(run.metrics.total_time.as_micros_f64());
-            cw.push(run.metrics.cw_slots as f64);
-            col.push(run.metrics.collisions as f64);
-        }
-        let t = median(&total);
+        let cell = single_sweep::<MacSim>("ablate-poly", config, n, trials, opts.threads);
+        let t = raw_median(&cell, Metric::TotalTimeUs);
         if alg == AlgorithmKind::Beb {
             beb_total = t;
         }
         rows.push(vec![
             alg.label(),
-            format!("{:.0}", median(&cw)),
-            format!("{:.0}", median(&col)),
+            format!("{:.0}", raw_median(&cell, Metric::CwSlots)),
+            format!("{:.0}", raw_median(&cell, Metric::Collisions)),
             format!("{t:.0}"),
             format!("{:+.1}%", percent_change(t, beb_total)),
         ]);
@@ -349,7 +344,11 @@ pub fn polynomial(opts: &Options) -> Report {
 /// Aggregates one metric from pre-built summaries (exposed for tests).
 pub fn summarize(trials: &[TrialSummary], metric: Metric) -> f64 {
     aggregate_cell(
-        &crate::sweep::SweepCell { algorithm: AlgorithmKind::Beb, n: 0, trials: trials.to_vec() },
+        &crate::sweep::SweepCell {
+            algorithm: AlgorithmKind::Beb,
+            n: 0,
+            trials: trials.to_vec(),
+        },
         metric,
     )
     .median
@@ -360,23 +359,39 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { trials: Some(3), threads: Some(2), ..Options::default() }
+        Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        }
     }
 
     #[test]
     fn ack_timeout_cliff_blocks_completion() {
         let r = ack_timeout(&opts());
         // Below the ≈38 µs cliff, the batch must not complete.
-        let row30 = r.body.lines().find(|l| l.trim_start().starts_with("30 ")).unwrap();
+        let row30 = r
+            .body
+            .lines()
+            .find(|l| l.trim_start().starts_with("30 "))
+            .unwrap();
         assert!(row30.contains("—"), "30 µs should never complete: {row30}");
         // At the 75 µs default, it must complete.
-        let row75 = r.body.lines().find(|l| l.trim_start().starts_with("75 ")).unwrap();
+        let row75 = r
+            .body
+            .lines()
+            .find(|l| l.trim_start().starts_with("75 "))
+            .unwrap();
         assert!(row75.contains("60/60"), "75 µs should complete: {row75}");
     }
 
     #[test]
     fn truncation_at_1024_is_noise() {
-        let r = truncation(&Options { trials: Some(9), threads: Some(2), ..Options::default() });
+        let r = truncation(&Options {
+            trials: Some(9),
+            threads: Some(2),
+            ..Options::default()
+        });
         assert!(r.body.contains("unbounded"));
         assert!(r.body.contains("CWmax=1024"));
     }

@@ -5,10 +5,11 @@ use crate::figures::shared::{paper_algorithms, report_from_series};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, AbstractSweep, SweepCell};
+use crate::sweep::{cell, Sweep, SweepCell};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_slotted::windowed::WindowedConfig;
+use contention_slotted::WindowedSim;
 
 /// Figure 5: CW slots from the abstract simulator over the paper's n grid.
 ///
@@ -16,7 +17,7 @@ use contention_slotted::windowed::WindowedConfig;
 /// numbers in magnitude and in BEB's separation, though the newer algorithms
 /// do not separate cleanly at this scale (§III-A1).
 pub fn fig5(opts: &Options) -> Report {
-    let cells = AbstractSweep {
+    let cells = Sweep::<WindowedSim> {
         experiment: "fig5",
         config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
         algorithms: paper_algorithms(),
@@ -44,7 +45,7 @@ fn large_n_sweep(opts: &Options) -> Vec<SweepCell> {
     } else {
         vec![2_000, 6_000, 12_000, 20_000]
     };
-    AbstractSweep {
+    Sweep::<WindowedSim> {
         experiment: "fig15-16",
         config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
         algorithms: paper_algorithms(),
@@ -100,10 +101,12 @@ pub fn fig16(opts: &Options) -> Report {
                 .iter()
                 .map(|&n| {
                     let num = aggregate_cell(cell(&cells, alg, n), Metric::Collisions).median;
-                    let den =
-                        aggregate_cell(cell(&cells, AlgorithmKind::Sawtooth, n), Metric::Collisions)
-                            .median
-                            .max(1.0);
+                    let den = aggregate_cell(
+                        cell(&cells, AlgorithmKind::Sawtooth, n),
+                        Metric::Collisions,
+                    )
+                    .median
+                    .max(1.0);
                     let ratio = num / den;
                     SeriesPoint {
                         x: n as f64,
@@ -134,7 +137,11 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { trials: Some(5), threads: Some(2), ..Options::default() }
+        Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        }
     }
 
     #[test]

@@ -41,7 +41,11 @@ mod tests {
 
     #[test]
     fn beb_has_fewest_max_ack_timeouts() {
-        let opts = Options { trials: Some(5), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        };
         let cells = mac_sweep(&opts, 64);
         let series = series_per_algorithm(&cells, &paper_algorithms(), Metric::MaxAckTimeouts);
         let beb = series[0].final_median();
@@ -57,7 +61,11 @@ mod tests {
 
     #[test]
     fn timeout_time_is_75us_per_timeout() {
-        let opts = Options { trials: Some(3), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        };
         let cells = mac_sweep(&opts, 64);
         for c in &cells {
             for t in &c.trials {

@@ -4,11 +4,11 @@ use crate::aggregate::{series_per_algorithm, Series, SeriesPoint};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{MacSweep, SweepCell};
+use crate::sweep::{Sweep, SweepCell};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 
 fn algorithms() -> Vec<AlgorithmKind> {
     vec![
@@ -20,7 +20,7 @@ fn algorithms() -> Vec<AlgorithmKind> {
 
 /// One shared sweep feeds both figures, mirroring the paper's 20-trial runs.
 fn sweep(opts: &Options) -> Vec<SweepCell> {
-    MacSweep {
+    Sweep::<MacSim> {
         experiment: "fig18-19",
         config: MacConfig::paper(AlgorithmKind::Beb, 64),
         algorithms: algorithms(),
@@ -114,17 +114,17 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { trials: Some(5), threads: Some(2), ..Options::default() }
+        Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        }
     }
 
     #[test]
     fn estimates_respect_the_underestimate_bound() {
         let r = fig18(&opts());
-        assert!(
-            r.body.contains("(never below n/2): holds"),
-            "{}",
-            r.body
-        );
+        assert!(r.body.contains("(never below n/2): holds"), "{}", r.body);
     }
 
     #[test]

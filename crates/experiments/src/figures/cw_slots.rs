@@ -1,7 +1,9 @@
 //! Figures 3, 4 and 6 — contention-window slots in the MAC simulator.
 
 use crate::aggregate::series_per_algorithm;
-use crate::figures::shared::{mac_sweep, paper_algorithms, report_from_series, standard_mac_figure};
+use crate::figures::shared::{
+    mac_sweep, paper_algorithms, report_from_series, standard_mac_figure,
+};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
@@ -66,7 +68,11 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { trials: Some(4), threads: Some(2), ..Options::default() }
+        Options {
+            trials: Some(4),
+            threads: Some(2),
+            ..Options::default()
+        }
     }
 
     #[test]

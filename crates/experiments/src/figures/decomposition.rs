@@ -10,17 +10,17 @@ use crate::aggregate::aggregate_cell;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::MacSweep;
+use crate::sweep::Sweep;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::model::{CostModel, Decomposition};
 use contention_core::params::Phy80211g;
 use contention_core::time::Nanos;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 
 pub fn run(opts: &Options) -> Report {
     let n = 150;
     let payload = 64;
-    let cells = MacSweep {
+    let cells = Sweep::<MacSim> {
         experiment: "decomp",
         config: MacConfig::paper(AlgorithmKind::Beb, payload),
         algorithms: vec![AlgorithmKind::Beb],
@@ -69,12 +69,18 @@ pub fn run(opts: &Options) -> Report {
         "lower bound                      : {:>9.0} µs   (paper: 22,237 µs)",
         measured.lower_bound().as_micros_f64()
     ));
-    report.line(format!("measured total time              : {total:>9.0} µs"));
+    report.line(format!(
+        "measured total time              : {total:>9.0} µs"
+    ));
     report.line("");
     let holds = measured.lower_bound().as_micros_f64() <= total;
     report.line(format!(
         "lower bound ≤ measured total: {}",
-        if holds { "holds" } else { "VIOLATED — investigate" }
+        if holds {
+            "holds"
+        } else {
+            "VIOLATED — investigate"
+        }
     ));
     report.line(format!(
         "transmission dominates ACK timeouts by {:.1}× (paper: an order of magnitude)",
@@ -129,8 +135,16 @@ mod tests {
 
     #[test]
     fn lower_bound_holds_against_measured_total() {
-        let opts = Options { trials: Some(5), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = run(&opts);
-        assert!(r.body.contains("lower bound ≤ measured total: holds"), "{}", r.body);
+        assert!(
+            r.body.contains("lower bound ≤ measured total: holds"),
+            "{}",
+            r.body
+        );
     }
 }

@@ -13,27 +13,39 @@
 use crate::figures::shared::paper_algorithms;
 use crate::figures::Report;
 use crate::options::Options;
+use crate::sweep::Sweep;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
-use contention_core::rng::{experiment_tag, trial_rng};
 use contention_core::util::percent_change;
 use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
 use contention_stats::summary::median;
 
+/// Medians of (mean latency, completion rate) over one dynamic-traffic cell
+/// run through the engine. Dynamic runs have no batch size, so the sweep's
+/// `n` axis is the conventional `0` (see the `Simulator` impl on
+/// [`DynamicSim`]); raw [`contention_slotted::dynamic::DynamicMetrics`] are
+/// consumed directly via [`Sweep::run_raw`].
 fn median_latency(
-    experiment: &str,
+    experiment: &'static str,
     config: DynamicConfig,
     trials: u32,
+    threads: Option<usize>,
 ) -> (f64, f64) {
-    let mut mean = Vec::new();
-    let mut completion = Vec::new();
-    for t in 0..trials {
-        let mut sim = DynamicSim::new(config);
-        let mut rng = trial_rng(experiment_tag(experiment), config.algorithm, 0, t);
-        let m = sim.run(&mut rng);
-        mean.push(m.mean_latency);
-        completion.push(m.completion_rate());
+    let cells = Sweep::<DynamicSim> {
+        experiment,
+        config,
+        algorithms: vec![config.algorithm],
+        ns: vec![0],
+        trials,
+        threads,
     }
+    .run_raw();
+    let mean: Vec<f64> = cells[0].trials.iter().map(|m| m.mean_latency).collect();
+    let completion: Vec<f64> = cells[0]
+        .trials
+        .iter()
+        .map(|m| m.completion_rate())
+        .collect();
     (median(&mean), median(&completion))
 }
 
@@ -43,9 +55,8 @@ pub fn run(opts: &Options) -> Report {
         rate: if opts.full { 0.000_5 } else { 0.000_8 },
         size: 60,
     };
-    let mut report = Report::new(
-        "§VIII extension — long-lived bursty traffic (Poisson bursts of 60 packets)",
-    );
+    let mut report =
+        Report::new("§VIII extension — long-lived bursty traffic (Poisson bursts of 60 packets)");
     report.line(format!(
         "offered load {:.3} packets/slot; mean packet latency in slots (median of {trials} trials)",
         arrivals.offered_load()
@@ -57,13 +68,17 @@ pub fn run(opts: &Options) -> Report {
     for alg in paper_algorithms() {
         let unit = DynamicConfig::abstract_model(alg, arrivals);
         let mac = DynamicConfig::mac_costs(alg, arrivals, 64);
-        let (lat_unit, done_unit) = median_latency("dyn-unit", unit, trials);
-        let (lat_mac, done_mac) = median_latency("dyn-mac", mac, trials);
+        let (lat_unit, done_unit) = median_latency("dyn-unit", unit, trials, opts.threads);
+        let (lat_mac, done_mac) = median_latency("dyn-mac", mac, trials, opts.threads);
         if alg == AlgorithmKind::Beb {
             beb = [lat_unit, lat_mac];
         }
         for (slot, lat) in [(0usize, lat_unit), (1, lat_mac)] {
-            if winners[slot].as_ref().map(|(_, best)| lat < *best).unwrap_or(true) {
+            if winners[slot]
+                .as_ref()
+                .map(|(_, best)| lat < *best)
+                .unwrap_or(true)
+            {
                 winners[slot] = Some((alg.label(), lat));
             }
         }
@@ -94,7 +109,11 @@ pub fn run(opts: &Options) -> Report {
     report.line(format!(
         "unit-cost (A2) winner: {a2_winner}; 802.11g-cost winner: {mac_winner} — the \
          single-batch reversal {} to long-lived bursty traffic.",
-        if mac_winner == "BEB" && a2_winner != "BEB" { "extends" } else { "partially extends" }
+        if mac_winner == "BEB" && a2_winner != "BEB" {
+            "extends"
+        } else {
+            "partially extends"
+        }
     ));
     report.rows_csv(
         "dynamic_bursty_latency",
@@ -106,7 +125,13 @@ pub fn run(opts: &Options) -> Report {
             "mac_completion".to_string(),
         ])
         .chain(rows.iter().map(|r| {
-            vec![r[0].clone(), r[1].clone(), r[3].replace('%', ""), r[4].clone(), r[6].replace('%', "")]
+            vec![
+                r[0].clone(),
+                r[1].clone(),
+                r[3].replace('%', ""),
+                r[4].clone(),
+                r[6].replace('%', ""),
+            ]
         }))
         .collect(),
     );
@@ -119,7 +144,11 @@ mod tests {
 
     #[test]
     fn dynamic_report_runs_and_names_winners() {
-        let opts = Options { trials: Some(3), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = run(&opts);
         assert!(r.body.contains("winner"));
         assert!(r.body.contains("802.11g"));

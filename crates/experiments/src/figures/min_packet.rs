@@ -32,7 +32,11 @@ mod tests {
 
     #[test]
     fn min_packet_figure_runs() {
-        let opts = Options { trials: Some(3), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = run(&opts);
         assert!(r.body.contains("vs BEB"));
     }

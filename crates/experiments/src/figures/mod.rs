@@ -27,8 +27,15 @@ use std::path::Path;
 /// A CSV artifact a figure wants written alongside its text output.
 #[derive(Debug, Clone)]
 pub enum CsvBlock {
-    Series { name: String, x_label: String, series: Vec<Series> },
-    Rows { name: String, rows: Vec<Vec<String>> },
+    Series {
+        name: String,
+        x_label: String,
+        series: Vec<Series>,
+    },
+    Rows {
+        name: String,
+        rows: Vec<Vec<String>>,
+    },
 }
 
 /// The result of regenerating one table/figure.
@@ -44,7 +51,11 @@ pub struct Report {
 
 impl Report {
     pub fn new(title: impl Into<String>) -> Report {
-        Report { title: title.into(), body: String::new(), csv: Vec::new() }
+        Report {
+            title: title.into(),
+            body: String::new(),
+            csv: Vec::new(),
+        }
     }
 
     pub fn line(&mut self, text: impl AsRef<str>) {
@@ -61,7 +72,10 @@ impl Report {
     }
 
     pub fn rows_csv(&mut self, name: &str, rows: Vec<Vec<String>>) {
-        self.csv.push(CsvBlock::Rows { name: name.to_string(), rows });
+        self.csv.push(CsvBlock::Rows {
+            name: name.to_string(),
+            rows,
+        });
     }
 
     /// Prints to stdout.
@@ -74,7 +88,11 @@ impl Report {
     pub fn write_csv(&self, dir: &Path) {
         for block in &self.csv {
             match block {
-                CsvBlock::Series { name, x_label, series } => {
+                CsvBlock::Series {
+                    name,
+                    x_label,
+                    series,
+                } => {
                     csvout::write_series(dir, name, x_label, series);
                 }
                 CsvBlock::Rows { name, rows } => {
@@ -91,36 +109,152 @@ pub type Entry = (&'static str, &'static str, fn(&Options) -> Report);
 /// Everything `repro` can regenerate, in paper order.
 pub fn registry() -> Vec<Entry> {
     vec![
-        ("table1", "Table I — 802.11g parameters and derived frame times", tables::table1),
-        ("table2", "Table II — CW-slot guarantees vs measured growth", tables::table2),
-        ("fig3", "Figure 3 — CW slots, MAC sim, 64 B payload", cw_slots::fig3),
-        ("fig4", "Figure 4 — CW slots, MAC sim, 1024 B payload", cw_slots::fig4),
-        ("fig5", "Figure 5 — CW slots, abstract simulator", abstract_cw::fig5),
-        ("fig6", "Figure 6 — CW slots to finish n/2 packets", cw_slots::fig6),
-        ("fig7", "Figure 7 — total time, 64 B payload", total_time::fig7),
-        ("fig8", "Figure 8 — total time, 1024 B payload", total_time::fig8),
-        ("fig9", "Figure 9 — time for n/2 packets, 64 B", total_time::fig9),
-        ("fig10", "Figure 10 — time for n/2 packets, 1024 B", total_time::fig10),
-        ("fig11", "Figure 11 — max ACK timeouts per station", ack_timeouts::fig11),
-        ("fig12", "Figure 12 — time waiting for ACK timeouts", ack_timeouts::fig12),
-        ("fig13", "Figure 13 — execution trace, BEB, 20 stations", trace_fig13::fig13),
-        ("fig14", "Figure 14 — LLB − BEB total time vs packet size", payload_regression::fig14),
-        ("table3", "Table III — collision bounds vs measured growth", tables::table3),
-        ("fig15", "Figure 15 — CW slots at large n (abstract)", abstract_cw::fig15),
-        ("fig16", "Figure 16 — collision ratios vs STB (abstract)", abstract_cw::fig16),
-        ("fig18", "Figure 18 — BEST-OF-k estimates of n", best_of_k::fig18),
-        ("fig19", "Figure 19 — total time, BEST-OF-k vs BEB", best_of_k::fig19),
-        ("decomp", "§III-B — total-time decomposition, BEB n=150", decomposition::run),
+        (
+            "table1",
+            "Table I — 802.11g parameters and derived frame times",
+            tables::table1,
+        ),
+        (
+            "table2",
+            "Table II — CW-slot guarantees vs measured growth",
+            tables::table2,
+        ),
+        (
+            "fig3",
+            "Figure 3 — CW slots, MAC sim, 64 B payload",
+            cw_slots::fig3,
+        ),
+        (
+            "fig4",
+            "Figure 4 — CW slots, MAC sim, 1024 B payload",
+            cw_slots::fig4,
+        ),
+        (
+            "fig5",
+            "Figure 5 — CW slots, abstract simulator",
+            abstract_cw::fig5,
+        ),
+        (
+            "fig6",
+            "Figure 6 — CW slots to finish n/2 packets",
+            cw_slots::fig6,
+        ),
+        (
+            "fig7",
+            "Figure 7 — total time, 64 B payload",
+            total_time::fig7,
+        ),
+        (
+            "fig8",
+            "Figure 8 — total time, 1024 B payload",
+            total_time::fig8,
+        ),
+        (
+            "fig9",
+            "Figure 9 — time for n/2 packets, 64 B",
+            total_time::fig9,
+        ),
+        (
+            "fig10",
+            "Figure 10 — time for n/2 packets, 1024 B",
+            total_time::fig10,
+        ),
+        (
+            "fig11",
+            "Figure 11 — max ACK timeouts per station",
+            ack_timeouts::fig11,
+        ),
+        (
+            "fig12",
+            "Figure 12 — time waiting for ACK timeouts",
+            ack_timeouts::fig12,
+        ),
+        (
+            "fig13",
+            "Figure 13 — execution trace, BEB, 20 stations",
+            trace_fig13::fig13,
+        ),
+        (
+            "fig14",
+            "Figure 14 — LLB − BEB total time vs packet size",
+            payload_regression::fig14,
+        ),
+        (
+            "table3",
+            "Table III — collision bounds vs measured growth",
+            tables::table3,
+        ),
+        (
+            "fig15",
+            "Figure 15 — CW slots at large n (abstract)",
+            abstract_cw::fig15,
+        ),
+        (
+            "fig16",
+            "Figure 16 — collision ratios vs STB (abstract)",
+            abstract_cw::fig16,
+        ),
+        (
+            "fig18",
+            "Figure 18 — BEST-OF-k estimates of n",
+            best_of_k::fig18,
+        ),
+        (
+            "fig19",
+            "Figure 19 — total time, BEST-OF-k vs BEB",
+            best_of_k::fig19,
+        ),
+        (
+            "decomp",
+            "§III-B — total-time decomposition, BEB n=150",
+            decomposition::run,
+        ),
         ("rtscts", "§III-B — RTS/CTS check, LLB vs BEB", rts_cts::run),
-        ("minpkt", "§V-B — minimum-size packets (12 B payload)", min_packet::run),
-        ("model", "§IV — T_A = Θ(C·P + W) model checks", model_check::run),
-        ("ablate-ackto", "ablation — ACK-timeout duration sweep (§V-B cliff)", ablations::ack_timeout),
-        ("ablate-eifs", "ablation — 802.11 EIFS rule on/off", ablations::eifs),
-        ("ablate-trunc", "ablation — CWmax truncation (§V-B)", ablations::truncation),
-        ("ablate-sem", "ablation — windowed vs residual-timer semantics", ablations::semantics),
-        ("ablate-loss", "ablation — ACK-loss failure injection", ablations::ack_loss),
-        ("ablate-poly", "ablation — polynomial backoff baselines", ablations::polynomial),
-        ("dynamic", "§VIII extension — long-lived bursty traffic", dynamic_traffic::run),
+        (
+            "minpkt",
+            "§V-B — minimum-size packets (12 B payload)",
+            min_packet::run,
+        ),
+        (
+            "model",
+            "§IV — T_A = Θ(C·P + W) model checks",
+            model_check::run,
+        ),
+        (
+            "ablate-ackto",
+            "ablation — ACK-timeout duration sweep (§V-B cliff)",
+            ablations::ack_timeout,
+        ),
+        (
+            "ablate-eifs",
+            "ablation — 802.11 EIFS rule on/off",
+            ablations::eifs,
+        ),
+        (
+            "ablate-trunc",
+            "ablation — CWmax truncation (§V-B)",
+            ablations::truncation,
+        ),
+        (
+            "ablate-sem",
+            "ablation — windowed vs residual-timer semantics",
+            ablations::semantics,
+        ),
+        (
+            "ablate-loss",
+            "ablation — ACK-loss failure injection",
+            ablations::ack_loss,
+        ),
+        (
+            "ablate-poly",
+            "ablation — polynomial backoff baselines",
+            ablations::polynomial,
+        ),
+        (
+            "dynamic",
+            "§VIII extension — long-lived bursty traffic",
+            dynamic_traffic::run,
+        ),
     ]
 }
 

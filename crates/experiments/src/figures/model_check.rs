@@ -14,15 +14,16 @@ use crate::figures::shared::paper_algorithms;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, AbstractSweep, MacSweep};
+use crate::sweep::{cell, Sweep};
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::bounds::{llb_vs_beb_packet_threshold, total_time_bound};
 use contention_core::model::CostModel;
 use contention_core::params::Phy80211g;
 use contention_core::util::lg;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 use contention_slotted::windowed::WindowedConfig;
+use contention_slotted::WindowedSim;
 
 pub fn run(opts: &Options) -> Report {
     let mut report = Report::new("§IV — the collision-cost model T_A = Θ(C_A·P + W_A)");
@@ -39,10 +40,17 @@ pub fn run(opts: &Options) -> Report {
                 .collect();
             scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
             let order: Vec<String> = scored.iter().map(|(l, _)| l.clone()).collect();
-            rows.push(vec![format!("2^{exp}"), p_label.to_string(), order.join(" < ")]);
+            rows.push(vec![
+                format!("2^{exp}"),
+                p_label.to_string(),
+                order.join(" < "),
+            ]);
         }
     }
-    report.line(render(&["n".into(), "packet time".into(), "predicted order".into()], &rows));
+    report.line(render(
+        &["n".into(), "packet time".into(), "predicted order".into()],
+        &rows,
+    ));
     report.line(format!(
         "LLB overtakes BEB once P = ω(lg n · lg lg lg n / lg lg n); at n = 2^20 that \
          threshold is {:.1} slots — the 1024 B packet is {:.1} slots (Result 5)",
@@ -53,7 +61,7 @@ pub fn run(opts: &Options) -> Report {
     // 2. Empirical: model( measured C, W from the abstract sim ) vs MAC total.
     let n = 150u32;
     let trials = opts.trials_or(8, 30);
-    let abs_cells = AbstractSweep {
+    let abs_cells = Sweep::<WindowedSim> {
         experiment: "model-abs",
         config: WindowedConfig::truncated_model(AlgorithmKind::Beb),
         algorithms: paper_algorithms(),
@@ -64,7 +72,7 @@ pub fn run(opts: &Options) -> Report {
     .run();
     let phy = Phy80211g::paper_defaults();
     for payload in [64u32, 1024] {
-        let mac_cells = MacSweep {
+        let mac_cells = Sweep::<MacSim> {
             experiment: "model-mac",
             config: MacConfig::paper(AlgorithmKind::Beb, payload),
             algorithms: paper_algorithms(),
@@ -126,7 +134,11 @@ mod tests {
 
     #[test]
     fn model_report_contains_both_checks() {
-        let opts = Options { trials: Some(4), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(4),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = run(&opts);
         assert!(r.body.contains("predicted order"));
         assert!(r.body.contains("model predicts"));

@@ -9,10 +9,10 @@ use crate::aggregate::{aggregate_values, paired_differences, Series};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::MacSweep;
+use crate::sweep::Sweep;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 use contention_stats::regression::linear_fit;
 
 /// Runs the payload sweep and the regression.
@@ -29,7 +29,7 @@ pub fn fig14(opts: &Options) -> Report {
     let mut ys: Vec<f64> = Vec::new();
     let mut points = Vec::new();
     for &payload in &payloads {
-        let cells = MacSweep {
+        let cells = Sweep::<MacSim> {
             experiment: "fig14",
             config: MacConfig::paper(AlgorithmKind::Beb, payload),
             algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
@@ -47,10 +47,14 @@ pub fn fig14(opts: &Options) -> Report {
     }
 
     let fit = linear_fit(&xs, &ys);
-    let series = vec![Series { name: "LLB − BEB (µs)".to_string(), points }];
+    let series = vec![Series {
+        name: "LLB − BEB (µs)".to_string(),
+        points,
+    }];
 
-    let mut report =
-        Report::new(format!("Figure 14 — LLB − BEB total time vs payload size (n = {n})"));
+    let mut report = Report::new(format!(
+        "Figure 14 — LLB − BEB total time vs payload size (n = {n})"
+    ));
     report.line(render_series("payload B", &series));
     report.line(format!(
         "OLS fit: slope {:+.2} µs/B ⇒ {:+.0} µs per extra 100 B (paper: ≈ +700 µs per 100 B)",
@@ -71,7 +75,11 @@ mod tests {
 
     #[test]
     fn regression_is_positive_and_significant() {
-        let opts = Options { trials: Some(6), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(6),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = fig14(&opts);
         let fit_line = r.body.lines().find(|l| l.starts_with("OLS fit")).unwrap();
         assert!(fit_line.contains("slope +"), "{fit_line}");

@@ -10,11 +10,11 @@ use crate::aggregate::aggregate_cell;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::MacSweep;
+use crate::sweep::Sweep;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 
 pub fn run(opts: &Options) -> Report {
     let n = 150;
@@ -25,7 +25,7 @@ pub fn run(opts: &Options) -> Report {
         for rts in [false, true] {
             let mut config = MacConfig::paper(AlgorithmKind::Beb, payload);
             config.rts_cts = rts;
-            let cells = MacSweep {
+            let cells = Sweep::<MacSim> {
                 experiment: if rts { "rtscts-on" } else { "rtscts-off" },
                 config,
                 algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
@@ -94,7 +94,11 @@ mod tests {
 
     #[test]
     fn rts_on_and_off_both_reported() {
-        let opts = Options { trials: Some(3), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = run(&opts);
         assert!(r.body.contains("on"));
         assert!(r.body.contains("off"));

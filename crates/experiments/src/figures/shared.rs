@@ -8,11 +8,11 @@
 use crate::aggregate::{final_percent_vs_first, series_per_algorithm, Series};
 use crate::figures::Report;
 use crate::options::Options;
-use crate::summary::Metric;
-use crate::sweep::{MacSweep, SweepCell};
+use crate::summary::{Metric, TrialSummary};
+use crate::sweep::{Simulator, Sweep, SweepCell};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
-use contention_mac::MacConfig;
+use contention_mac::{MacConfig, MacSim};
 
 /// The paper's four head-to-head algorithms.
 pub fn paper_algorithms() -> Vec<AlgorithmKind> {
@@ -27,7 +27,7 @@ pub fn mac_sweep(opts: &Options, payload: u32) -> Vec<SweepCell> {
         12 => "mac-12",
         _ => "mac-other",
     };
-    MacSweep {
+    Sweep::<MacSim> {
         experiment,
         config: MacConfig::paper(AlgorithmKind::Beb, payload),
         algorithms: paper_algorithms(),
@@ -36,6 +36,38 @@ pub fn mac_sweep(opts: &Options, payload: u32) -> Vec<SweepCell> {
         threads: opts.threads,
     }
     .run()
+}
+
+/// A one-cell sweep: all trials of a single `(config, n)` pair, run through
+/// the generic engine. The ablations use this to vary config fields the
+/// grid dimensions don't cover.
+pub fn single_sweep<S: Simulator>(
+    experiment: &'static str,
+    config: S::Config,
+    n: u32,
+    trials: u32,
+    threads: Option<usize>,
+) -> SweepCell
+where
+    TrialSummary: From<S::Output>,
+{
+    let algorithm = S::algorithm(&config);
+    let mut cells = Sweep::<S> {
+        experiment,
+        config,
+        algorithms: vec![algorithm],
+        ns: vec![n],
+        trials,
+        threads,
+    }
+    .run();
+    cells.remove(0)
+}
+
+/// Median of a metric over a cell's trials, without the outlier filter —
+/// the ablations report raw medians.
+pub fn raw_median(cell: &SweepCell, metric: Metric) -> f64 {
+    contention_stats::summary::median(&crate::aggregate::raw_values(cell, metric))
 }
 
 /// Builds the standard figure report: a per-algorithm series table over `n`
@@ -66,8 +98,10 @@ pub fn report_from_series(
     report.line(render_series("n", series));
     let max_n = series[0].points.last().expect("non-empty").x;
     let pct = final_percent_vs_first(series);
-    let rendered: Vec<String> =
-        pct.iter().map(|(name, p)| format!("{name} {p:+.1}%")).collect();
+    let rendered: Vec<String> = pct
+        .iter()
+        .map(|(name, p)| format!("{name} {p:+.1}%"))
+        .collect();
     report.line(format!(
         "vs BEB at n={max_n}: {}   (paper: {paper_percents})",
         rendered.join(", ")
@@ -81,7 +115,11 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> Options {
-        Options { trials: Some(3), threads: Some(2), ..Options::default() }
+        Options {
+            trials: Some(3),
+            threads: Some(2),
+            ..Options::default()
+        }
     }
 
     #[test]

@@ -5,26 +5,36 @@ use crate::figures::shared::paper_algorithms;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, AbstractSweep, SweepCell};
+use crate::sweep::{cell, Sweep, SweepCell};
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::bounds::{collisions_bound, cw_slots_bound};
 use contention_core::params::Phy80211g;
 use contention_slotted::windowed::WindowedConfig;
+use contention_slotted::WindowedSim;
 
 /// Table I: the 802.11g parameter set plus the frame times derived from it.
 pub fn table1(_opts: &Options) -> Report {
     let p = Phy80211g::paper_defaults();
     let mut report = Report::new("Table I — experimental parameters (IEEE 802.11g)");
     let rows: Vec<Vec<String>> = vec![
-        vec!["Data rate".into(), format!("{} Mbit/s", p.data_rate_bps / 1_000_000)],
+        vec![
+            "Data rate".into(),
+            format!("{} Mbit/s", p.data_rate_bps / 1_000_000),
+        ],
         vec!["Slot duration".into(), p.slot.to_string()],
         vec!["SIFS".into(), p.sifs.to_string()],
         vec!["DIFS".into(), p.difs.to_string()],
         vec!["ACK timeout".into(), p.ack_timeout.to_string()],
         vec!["Preamble".into(), p.preamble.to_string()],
-        vec!["Packet overhead".into(), format!("{} bytes", p.header_overhead_bytes)],
-        vec!["CW min / max".into(), format!("{} / {}", p.cw_min, p.cw_max)],
+        vec![
+            "Packet overhead".into(),
+            format!("{} bytes", p.header_overhead_bytes),
+        ],
+        vec![
+            "CW min / max".into(),
+            format!("{} / {}", p.cw_min, p.cw_max),
+        ],
         vec!["RTS/CTS".into(), "off".into()],
     ];
     report.line(render(&["parameter".into(), "value".into()], &rows));
@@ -38,7 +48,11 @@ pub fn table1(_opts: &Options) -> Report {
         p.data_frame_time(1024)
     ));
     report.line(format!("  ACK frame                : {}", p.ack_time()));
-    report.line(format!("  RTS / CTS                : {} / {}", p.rts_time(), p.cts_time()));
+    report.line(format!(
+        "  RTS / CTS                : {} / {}",
+        p.rts_time(),
+        p.cts_time()
+    ));
     report
 }
 
@@ -50,7 +64,7 @@ fn growth_sweep(opts: &Options) -> (Vec<u32>, Vec<SweepCell>) {
     } else {
         vec![100, 400, 1_600, 6_400]
     };
-    let cells = AbstractSweep {
+    let cells = Sweep::<WindowedSim> {
         experiment: "growth-tables",
         config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
         algorithms: paper_algorithms(),
@@ -161,14 +175,26 @@ mod tests {
     #[test]
     fn table1_prints_all_parameters() {
         let r = table1(&Options::default());
-        for needle in ["54 Mbit/s", "9µs", "16µs", "34µs", "75µs", "20µs", "1 / 1024"] {
+        for needle in [
+            "54 Mbit/s",
+            "9µs",
+            "16µs",
+            "34µs",
+            "75µs",
+            "20µs",
+            "1 / 1024",
+        ] {
             assert!(r.body.contains(needle), "missing {needle}: {}", r.body);
         }
     }
 
     #[test]
     fn growth_tables_have_flat_beb_and_stb_rows() {
-        let opts = Options { trials: Some(5), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = table3(&opts);
         assert!(r.body.contains("O(n)"));
         assert!(r.body.contains("flatness"));

@@ -63,13 +63,20 @@ mod tests {
 
     #[test]
     fn fig7_shows_the_reversal() {
-        let opts = Options { trials: Some(5), threads: Some(2), ..Options::default() };
+        let opts = Options {
+            trials: Some(5),
+            threads: Some(2),
+            ..Options::default()
+        };
         let r = fig7(&opts);
         let pct_line = r.body.lines().find(|l| l.starts_with("vs BEB")).unwrap();
         // The strongly-separated challengers must be *slower* than BEB in
         // total time (LLB sits within noise of BEB at few trials, so it is
         // asserted only in the integration tests with more trials).
-        assert!(pct_line.contains(", LB +") || pct_line.starts_with("vs BEB at n=150: LB +"), "{pct_line}");
+        assert!(
+            pct_line.contains(", LB +") || pct_line.starts_with("vs BEB at n=150: LB +"),
+            "{pct_line}"
+        );
         assert!(pct_line.contains("STB +"), "{pct_line}");
     }
 }

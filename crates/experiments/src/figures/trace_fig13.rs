@@ -7,18 +7,18 @@
 
 use crate::figures::Report;
 use crate::options::Options;
+use crate::sweep::run_trial;
 use contention_core::algorithm::AlgorithmKind;
-use contention_core::rng::{experiment_tag, trial_rng};
-use contention_mac::{simulate, MacConfig, SpanKind};
+use contention_mac::{MacConfig, MacSim, SpanKind};
 
-/// Runs the trace trial and renders it.
+/// Runs the trace trial (through the engine's canonical single-trial path)
+/// and renders it.
 pub fn fig13(opts: &Options) -> Report {
     let n = 20;
     let kind = AlgorithmKind::Beb;
     let mut config = MacConfig::paper(kind, 64);
     config.capture_trace = true;
-    let mut rng = trial_rng(experiment_tag("fig13"), kind, n, 0);
-    let run = simulate(&config, n, &mut rng);
+    let run = run_trial::<MacSim>("fig13", &config, n, 0);
     let trace = run.trace.expect("trace was requested");
 
     let mut report = Report::new("Figure 13 — execution of BEB with 20 stations (64 B payload)");
@@ -26,7 +26,11 @@ pub fn fig13(opts: &Options) -> Report {
     let width = opts.pick(100, 160);
     report.line(trace.render_ascii(width));
 
-    let failures = trace.spans.iter().filter(|s| s.kind == SpanKind::DataFail).count() as u64;
+    let failures = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::DataFail)
+        .count() as u64;
     report.line(format!(
         "total time {:.0} µs; {} disjoint collisions involving {} station-transmissions; \
          {} ACK timeouts",

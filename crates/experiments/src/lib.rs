@@ -8,9 +8,10 @@
 //!
 //! * [`summary::TrialSummary`] — the scalar metrics extracted from one trial
 //!   (full per-station vectors are dropped inside the worker so large-`n`
-//!   abstract sweeps stay memory-light).
-//! * [`sweep`] — Cartesian `(algorithm × n × trial)` sweeps over either
-//!   simulator, executed with the deterministic parallel runner.
+//!   abstract sweeps stay memory-light). Defined in `contention-sim`.
+//! * [`sweep`] — the generic `Sweep<S: Simulator>` engine (defined in
+//!   `contention-sim`): one Cartesian `(algorithm × n × trial)` runner
+//!   drives the MAC, windowed, residual and dynamic simulators alike.
 //! * [`aggregate`] — the paper's reporting pipeline: outlier filtering
 //!   (1.5·IQR from the median), medians, and 95 % CIs.
 //! * [`table`] — plain-text table rendering for the terminal.

@@ -7,8 +7,7 @@ use std::path::PathBuf;
 /// The default grids are laptop-quick; `--full` switches to the paper's
 /// grids (30–200 trials, n up to 150 for the MAC sweeps and 10⁵ for the
 /// abstract sweeps), which take minutes rather than seconds.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Options {
     /// Use the paper's full grids.
     pub full: bool,
@@ -19,7 +18,6 @@ pub struct Options {
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
 }
-
 
 impl Options {
     /// Picks between a quick and a full grid value.
@@ -64,8 +62,7 @@ impl Options {
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
-                    opts.threads =
-                        Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+                    opts.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag:?}"));
@@ -91,8 +88,15 @@ mod tests {
 
     #[test]
     fn parses_subcommand_and_flags() {
-        let (sub, opts) =
-            Options::parse(&strs(&["fig7", "--full", "--trials", "5", "--threads", "2"])).unwrap();
+        let (sub, opts) = Options::parse(&strs(&[
+            "fig7",
+            "--full",
+            "--trials",
+            "5",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
         assert_eq!(sub, "fig7");
         assert!(opts.full);
         assert_eq!(opts.trials, Some(5));
@@ -118,10 +122,16 @@ mod tests {
         let quick = Options::default();
         assert_eq!(quick.trials_or(5, 30), 5);
         assert_eq!(quick.mac_ns(), vec![10, 50, 100, 150]);
-        let full = Options { full: true, ..Options::default() };
+        let full = Options {
+            full: true,
+            ..Options::default()
+        };
         assert_eq!(full.trials_or(5, 30), 30);
         assert_eq!(full.mac_ns().len(), 15);
-        let overridden = Options { trials: Some(9), ..Options::default() };
+        let overridden = Options {
+            trials: Some(9),
+            ..Options::default()
+        };
         assert_eq!(overridden.trials_or(5, 30), 9);
     }
 }

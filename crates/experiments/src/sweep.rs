@@ -1,145 +1,29 @@
-//! Cartesian `(algorithm × n × trial)` sweeps over the two simulators.
+//! Cartesian `(algorithm × n × trial)` sweeps — re-exported from the
+//! generic engine in `contention-sim`.
 //!
-//! Every trial derives its RNG from `(experiment tag, algorithm, n, trial)`
-//! so the sweep's numbers are independent of thread count and scheduling.
+//! The engine replaced the two near-identical `MacSweep` / `AbstractSweep`
+//! structs that used to live here: both simulators (and the dynamic-traffic
+//! one) now run through one [`Sweep`] parameterized by an
+//! [`engine backend`](Simulator). Spellings used across the figures:
+//!
+//! * `Sweep::<MacSim>` — the 802.11g DCF simulator,
+//! * `Sweep::<WindowedSim>` — the abstract aligned-window simulator,
+//! * `Sweep::<ResidualSim>` — the abstract residual-timer semantics,
+//! * `Sweep::<DynamicSim>` — long-lived traffic (uses [`Sweep::run_raw`]).
 
-use crate::summary::TrialSummary;
-use contention_core::algorithm::AlgorithmKind;
-use contention_core::rng::{experiment_tag, trial_rng};
-use contention_mac::{simulate, MacConfig};
-use contention_sim::parallel::parallel_map_threads;
-use contention_slotted::windowed::{WindowedConfig, WindowedSim};
-
-/// One aggregate cell: all trials of one `(algorithm, n)` pair.
-#[derive(Debug, Clone)]
-pub struct SweepCell {
-    pub algorithm: AlgorithmKind,
-    pub n: u32,
-    pub trials: Vec<TrialSummary>,
-}
-
-/// A sweep over the MAC (802.11g DCF) simulator.
-#[derive(Debug, Clone)]
-pub struct MacSweep {
-    /// RNG namespace; also names the experiment in outputs.
-    pub experiment: &'static str,
-    /// Base MAC configuration; the sweep overrides `algorithm` per cell.
-    pub config: MacConfig,
-    pub algorithms: Vec<AlgorithmKind>,
-    pub ns: Vec<u32>,
-    pub trials: u32,
-    /// Worker threads (`None` = all available).
-    pub threads: Option<usize>,
-}
-
-impl MacSweep {
-    pub fn run(&self) -> Vec<SweepCell> {
-        let tag = experiment_tag(self.experiment);
-        let items: Vec<(AlgorithmKind, u32, u32)> = self
-            .algorithms
-            .iter()
-            .flat_map(|&alg| {
-                self.ns
-                    .iter()
-                    .flat_map(move |&n| (0..self.trials).map(move |t| (alg, n, t)))
-            })
-            .collect();
-        let base = self.config;
-        let threads = self.threads.unwrap_or_else(default_threads);
-        let results = parallel_map_threads(items.clone(), threads, move |(alg, n, t)| {
-            let config = MacConfig { algorithm: alg, ..base };
-            let mut rng = trial_rng(tag, alg, n, t);
-            let run = simulate(&config, n, &mut rng);
-            TrialSummary::from_metrics(&run.metrics).with_estimates(&run.estimates)
-        });
-        collect_cells(&self.algorithms, &self.ns, self.trials, items, results)
-    }
-}
-
-/// A sweep over the abstract windowed simulator.
-#[derive(Debug, Clone)]
-pub struct AbstractSweep {
-    pub experiment: &'static str,
-    /// Base abstract configuration; `algorithm` is overridden per cell.
-    pub config: WindowedConfig,
-    pub algorithms: Vec<AlgorithmKind>,
-    pub ns: Vec<u32>,
-    pub trials: u32,
-    pub threads: Option<usize>,
-}
-
-impl AbstractSweep {
-    pub fn run(&self) -> Vec<SweepCell> {
-        let tag = experiment_tag(self.experiment);
-        let items: Vec<(AlgorithmKind, u32, u32)> = self
-            .algorithms
-            .iter()
-            .flat_map(|&alg| {
-                self.ns
-                    .iter()
-                    .flat_map(move |&n| (0..self.trials).map(move |t| (alg, n, t)))
-            })
-            .collect();
-        let base = self.config;
-        let threads = self.threads.unwrap_or_else(default_threads);
-        let results = parallel_map_threads(items.clone(), threads, move |(alg, n, t)| {
-            let config = WindowedConfig { algorithm: alg, ..base };
-            let mut sim = WindowedSim::new(config);
-            let mut rng = trial_rng(tag, alg, n, t);
-            TrialSummary::from_metrics(&sim.run(n, &mut rng))
-        });
-        collect_cells(&self.algorithms, &self.ns, self.trials, items, results)
-    }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-fn collect_cells(
-    algorithms: &[AlgorithmKind],
-    ns: &[u32],
-    trials: u32,
-    items: Vec<(AlgorithmKind, u32, u32)>,
-    results: Vec<TrialSummary>,
-) -> Vec<SweepCell> {
-    let mut cells: Vec<SweepCell> = algorithms
-        .iter()
-        .flat_map(|&alg| {
-            ns.iter().map(move |&n| SweepCell {
-                algorithm: alg,
-                n,
-                trials: Vec::with_capacity(trials as usize),
-            })
-        })
-        .collect();
-    let index = |alg: AlgorithmKind, n: u32| -> usize {
-        let ai = algorithms.iter().position(|&a| a == alg).expect("known algorithm");
-        let ni = ns.iter().position(|&m| m == n).expect("known n");
-        ai * ns.len() + ni
-    };
-    for ((alg, n, _), summary) in items.into_iter().zip(results) {
-        cells[index(alg, n)].trials.push(summary);
-    }
-    cells
-}
-
-/// Looks up one cell in a sweep result.
-pub fn cell(cells: &[SweepCell], alg: AlgorithmKind, n: u32) -> &SweepCell {
-    cells
-        .iter()
-        .find(|c| c.algorithm == alg && c.n == n)
-        .unwrap_or_else(|| panic!("no cell for {alg} at n={n}"))
-}
+pub use contention_sim::engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use contention_core::algorithm::AlgorithmKind::*;
+    use contention_mac::{MacConfig, MacSim};
+    use contention_slotted::windowed::WindowedConfig;
+    use contention_slotted::WindowedSim;
 
     #[test]
     fn mac_sweep_fills_every_cell_deterministically() {
-        let sweep = MacSweep {
+        let sweep = Sweep::<MacSim> {
             experiment: "sweep-test",
             config: MacConfig::paper(Beb, 64),
             algorithms: vec![Beb, Sawtooth],
@@ -148,7 +32,11 @@ mod tests {
             threads: Some(2),
         };
         let a = sweep.run();
-        let b = MacSweep { threads: Some(7), ..sweep }.run();
+        let b = Sweep {
+            threads: Some(7),
+            ..sweep
+        }
+        .run();
         assert_eq!(a.len(), 4);
         for (ca, cb) in a.iter().zip(&b) {
             assert_eq!(ca.trials.len(), 3);
@@ -159,7 +47,7 @@ mod tests {
 
     #[test]
     fn abstract_sweep_runs() {
-        let sweep = AbstractSweep {
+        let sweep = Sweep::<WindowedSim> {
             experiment: "sweep-test-abs",
             config: WindowedConfig::abstract_model(Beb),
             algorithms: vec![Beb],
@@ -175,7 +63,7 @@ mod tests {
 
     #[test]
     fn cell_lookup() {
-        let sweep = AbstractSweep {
+        let sweep = Sweep::<WindowedSim> {
             experiment: "sweep-test-lookup",
             config: WindowedConfig::abstract_model(Beb),
             algorithms: vec![Beb, LogBackoff],
@@ -188,9 +76,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no cell")]
-    fn missing_cell_panics() {
-        let cells: Vec<SweepCell> = Vec::new();
-        let _ = cell(&cells, Beb, 10);
+    fn single_trials_reproduce_sweep_cells() {
+        // `run_trial` (what the benches use) and `Sweep::run` (what the
+        // figures use) must draw from the same deterministic stream.
+        let config = MacConfig::paper(Sawtooth, 64);
+        let cells = Sweep::<MacSim> {
+            experiment: "sweep-vs-trial",
+            config,
+            algorithms: vec![Sawtooth],
+            ns: vec![12],
+            trials: 2,
+            threads: Some(2),
+        }
+        .run();
+        let lone = run_trial::<MacSim>("sweep-vs-trial", &config, 12, 1);
+        assert_eq!(
+            cells[0].trials[1],
+            contention_sim::summary::TrialSummary::from(lone)
+        );
     }
 }

@@ -57,7 +57,11 @@ pub fn render_series(x_label: &str, series: &[Series]) -> String {
             for s in series {
                 let p = s.points[i];
                 row.push(trim_float(p.median));
-                row.push(format!("[{}, {}]", trim_float(p.ci_low), trim_float(p.ci_high)));
+                row.push(format!(
+                    "[{}, {}]",
+                    trim_float(p.ci_low),
+                    trim_float(p.ci_high)
+                ));
             }
             row
         })

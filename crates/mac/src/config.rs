@@ -50,7 +50,10 @@ impl MacConfig {
 
     /// CW clamping derived from the PHY parameters.
     pub fn truncation(&self) -> Truncation {
-        Truncation { cw_min: self.phy.cw_min, cw_max: self.phy.cw_max }
+        Truncation {
+            cw_min: self.phy.cw_min,
+            cw_max: self.phy.cw_max,
+        }
     }
 
     /// The estimation spec when the algorithm is BEST-OF-k.

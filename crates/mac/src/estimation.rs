@@ -37,7 +37,13 @@ pub struct EstimState {
 
 impl EstimState {
     pub fn new(spec: BestOfKSpec) -> EstimState {
-        EstimState { spec, phase: 0, rounds_done: 0, clear_rounds: 0, sent_this_round: false }
+        EstimState {
+            spec,
+            phase: 0,
+            rounds_done: 0,
+            clear_rounds: 0,
+            sent_this_round: false,
+        }
     }
 
     pub fn phase(&self) -> u32 {
@@ -108,7 +114,11 @@ mod tests {
         // Phase 0, all busy → continue.
         let out = run_phase(
             &mut s,
-            &[(RoundAction::Send, true), (RoundAction::Send, true), (RoundAction::Send, true)],
+            &[
+                (RoundAction::Send, true),
+                (RoundAction::Send, true),
+                (RoundAction::Send, true),
+            ],
         );
         assert_eq!(out, Some(PhaseOutcome::Continue));
         assert_eq!(s.phase(), 1);
@@ -149,7 +159,11 @@ mod tests {
         s.phase = spec.max_exponent;
         let out = run_phase(
             &mut s,
-            &[(RoundAction::Sense, true), (RoundAction::Sense, true), (RoundAction::Sense, true)],
+            &[
+                (RoundAction::Sense, true),
+                (RoundAction::Sense, true),
+                (RoundAction::Sense, true),
+            ],
         );
         assert_eq!(out, Some(PhaseOutcome::Decide(1024)));
     }

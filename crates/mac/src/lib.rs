@@ -37,5 +37,5 @@ pub mod simulator;
 pub mod trace;
 
 pub use config::MacConfig;
-pub use simulator::{simulate, MacRun};
+pub use simulator::{simulate, MacRun, MacSim};
 pub use trace::{Span, SpanKind, Trace};

@@ -20,6 +20,7 @@ use crate::config::MacConfig;
 use crate::estimation::{EstimState, PhaseOutcome, RoundAction};
 use crate::medium::{ActiveTx, Medium, TxKind, TxSource};
 use crate::trace::{Span, SpanKind, Trace};
+use contention_core::algorithm::AlgorithmKind;
 use contention_core::metrics::{BatchMetrics, StationMetrics};
 use contention_core::schedule::{Schedule, WindowSchedule};
 use contention_core::time::Nanos;
@@ -143,6 +144,38 @@ pub fn simulate<R: Rng>(config: &MacConfig, n: u32, rng: &mut R) -> MacRun {
     sim.finish()
 }
 
+/// The 802.11g DCF backend of the generic sweep engine — a zero-sized entry
+/// point around [`simulate`].
+pub struct MacSim;
+
+impl contention_sim::engine::Simulator for MacSim {
+    type Config = MacConfig;
+    type Output = MacRun;
+    const NAME: &'static str = "mac";
+
+    fn algorithm(config: &MacConfig) -> AlgorithmKind {
+        config.algorithm
+    }
+
+    fn with_algorithm(config: &MacConfig, algorithm: AlgorithmKind) -> MacConfig {
+        MacConfig {
+            algorithm,
+            ..*config
+        }
+    }
+
+    fn run(config: &MacConfig, n: u32, rng: &mut rand::rngs::SmallRng) -> MacRun {
+        simulate(config, n, rng)
+    }
+}
+
+impl From<MacRun> for contention_sim::summary::TrialSummary {
+    fn from(run: MacRun) -> contention_sim::summary::TrialSummary {
+        contention_sim::summary::TrialSummary::from_metrics(&run.metrics)
+            .with_estimates(&run.estimates)
+    }
+}
+
 impl<'a, R: Rng> Sim<'a, R> {
     fn new(config: &'a MacConfig, n: u32, rng: &'a mut R) -> Sim<'a, R> {
         Sim {
@@ -208,14 +241,18 @@ impl<'a, R: Rng> Sim<'a, R> {
         if best_of_k.is_some() {
             self.queue.schedule(Nanos::ZERO, Event::EstimationRound);
         } else if self.n > 0 {
-            self.queue
-                .schedule(self.config.phy.difs, Event::GlobalDifs { gen: self.difs_gen });
+            self.queue.schedule(
+                self.config.phy.difs,
+                Event::GlobalDifs { gen: self.difs_gen },
+            );
         }
     }
 
     fn run(&mut self) {
         while !self.done {
-            let Some((now, event)) = self.queue.pop() else { break };
+            let Some((now, event)) = self.queue.pop() else {
+                break;
+            };
             if now > self.config.max_sim_time {
                 break;
             }
@@ -235,7 +272,11 @@ impl<'a, R: Rng> Sim<'a, R> {
 
     fn finish(self) -> MacRun {
         let now = self.queue.now();
-        let cw_slots = if self.done { self.final_cw_slots } else { self.cw_slots_now(now) };
+        let cw_slots = if self.done {
+            self.final_cw_slots
+        } else {
+            self.cw_slots_now(now)
+        };
         let total_time = if self.done { self.total_time } else { now };
         MacRun {
             metrics: BatchMetrics {
@@ -287,7 +328,8 @@ impl<'a, R: Rng> Sim<'a, R> {
         s.gen += 1;
         let gen = s.gen;
         let at = s.expiry_at;
-        self.queue.schedule(at, Event::BackoffExpire { station, gen });
+        self.queue
+            .schedule(at, Event::BackoffExpire { station, gen });
         self.counting += 1;
         if self.counting == 1 {
             debug_assert!(self.cw_open_at.is_none());
@@ -354,7 +396,8 @@ impl<'a, R: Rng> Sim<'a, R> {
             let s = &mut self.stations[station as usize];
             s.gen += 1;
             let gen = s.gen;
-            self.queue.schedule(ready, Event::PersonalDifs { station, gen });
+            self.queue
+                .schedule(ready, Event::PersonalDifs { station, gen });
         }
     }
 
@@ -408,7 +451,12 @@ impl<'a, R: Rng> Sim<'a, R> {
 
     fn record_span(&mut self, station: u32, kind: SpanKind, start: Nanos, end: Nanos) {
         if let Some(trace) = &mut self.trace {
-            trace.push(Span { station, kind, start, end });
+            trace.push(Span {
+                station,
+                kind,
+                start,
+                end,
+            });
         }
     }
 
@@ -452,7 +500,10 @@ impl<'a, R: Rng> Sim<'a, R> {
         let (kind, duration) = if self.config.rts_cts {
             (TxKind::Rts, self.config.phy.rts_time())
         } else {
-            (TxKind::Data, self.config.phy.data_frame_time(self.config.payload_bytes))
+            (
+                TxKind::Data,
+                self.config.phy.data_frame_time(self.config.payload_bytes),
+            )
         };
         let tag = self.stations[station as usize].gen;
         self.start_frame(TxSource::Station(station), kind, None, tag, duration);
@@ -498,7 +549,11 @@ impl<'a, R: Rng> Sim<'a, R> {
         let now = self.queue.now();
         self.record_span(
             station,
-            if tx.corrupted { SpanKind::DataFail } else { SpanKind::DataOk },
+            if tx.corrupted {
+                SpanKind::DataFail
+            } else {
+                SpanKind::DataOk
+            },
             tx.start,
             tx.end,
         );
@@ -572,7 +627,13 @@ impl<'a, R: Rng> Sim<'a, R> {
         s.state = State::Transmitting;
         let tag = s.gen;
         let duration = self.config.phy.data_frame_time(self.config.payload_bytes);
-        self.start_frame(TxSource::Station(station), TxKind::Data, None, tag, duration);
+        self.start_frame(
+            TxSource::Station(station),
+            TxKind::Data,
+            None,
+            tag,
+            duration,
+        );
     }
 
     fn on_ack_start(&mut self, station: u32, tag: u64) {
@@ -660,10 +721,12 @@ impl<'a, R: Rng> Sim<'a, R> {
         // 2. Begin the next round: coin flips in station order.
         self.round_index += 1;
         self.round_had_busy = self.medium.is_busy();
-        let probe_time = self
-            .config
-            .phy
-            .frame_time(self.config.best_of_k().expect("estimation implies spec").dummy_bytes);
+        let probe_time = self.config.phy.frame_time(
+            self.config
+                .best_of_k()
+                .expect("estimation implies spec")
+                .dummy_bytes,
+        );
         for station in 0..self.n {
             if self.stations[station as usize].state != State::Estimating {
                 continue;
@@ -678,13 +741,27 @@ impl<'a, R: Rng> Sim<'a, R> {
                 .estim
                 .as_mut()
                 .expect("estimating station has state")
-                .begin_round(if send { RoundAction::Send } else { RoundAction::Sense });
+                .begin_round(if send {
+                    RoundAction::Send
+                } else {
+                    RoundAction::Sense
+                });
             if send {
                 let tag = self.stations[station as usize].gen;
-                self.start_frame(TxSource::Station(station), TxKind::Probe, None, tag, probe_time);
+                self.start_frame(
+                    TxSource::Station(station),
+                    TxKind::Probe,
+                    None,
+                    tag,
+                    probe_time,
+                );
             }
         }
-        let round = self.config.best_of_k().expect("estimation implies spec").round;
+        let round = self
+            .config
+            .best_of_k()
+            .expect("estimation implies spec")
+            .round;
         self.queue.schedule(now + round, Event::EstimationRound);
     }
 
@@ -764,7 +841,12 @@ mod tests {
     fn fixed_window_single_station_counts_its_slots() {
         // One station, fixed CW of 64: the drawn timer is the only CW time.
         let config = MacConfig::paper(AlgorithmKind::Fixed { window: 64 }, 64);
-        let mut rng = trial_rng(experiment_tag("mac-test"), AlgorithmKind::Fixed { window: 64 }, 1, 2);
+        let mut rng = trial_rng(
+            experiment_tag("mac-test"),
+            AlgorithmKind::Fixed { window: 64 },
+            1,
+            2,
+        );
         let r = simulate(&config, 1, &mut rng);
         let m = &r.metrics;
         assert_eq!(m.successes, 1);
@@ -789,11 +871,17 @@ mod tests {
         let mut rng = trial_rng(experiment_tag("mac-trace"), AlgorithmKind::Beb, 20, 0);
         let r = simulate(&config, 20, &mut rng);
         let trace = r.trace.expect("trace captured");
-        assert!(trace.first_overlap().is_none(), "{:?}", trace.first_overlap());
+        assert!(
+            trace.first_overlap().is_none(),
+            "{:?}",
+            trace.first_overlap()
+        );
         // Every station shows at least one data span and one ACK span.
         for st in 0..20 {
             let spans = trace.station_spans(st);
-            assert!(spans.iter().any(|s| matches!(s.kind, SpanKind::DataOk | SpanKind::DataFail)));
+            assert!(spans
+                .iter()
+                .any(|s| matches!(s.kind, SpanKind::DataOk | SpanKind::DataFail)));
             assert!(spans.iter().any(|s| s.kind == SpanKind::Ack));
         }
     }
@@ -805,8 +893,16 @@ mod tests {
         let mut rng = trial_rng(experiment_tag("mac-trace2"), AlgorithmKind::Sawtooth, 15, 0);
         let r = simulate(&config, 15, &mut rng);
         let trace = r.trace.expect("trace");
-        let failed_sends = trace.spans.iter().filter(|s| s.kind == SpanKind::DataFail).count();
-        let timeouts = trace.spans.iter().filter(|s| s.kind == SpanKind::TimeoutWait).count();
+        let failed_sends = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::DataFail)
+            .count();
+        let timeouts = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::TimeoutWait)
+            .count();
         assert_eq!(failed_sends as u64, r.metrics.total_ack_timeouts());
         assert_eq!(timeouts as u64, r.metrics.total_ack_timeouts());
     }

@@ -59,7 +59,10 @@ pub struct Trace {
 
 impl Trace {
     pub fn new(n: u32) -> Trace {
-        Trace { n, spans: Vec::new() }
+        Trace {
+            n,
+            spans: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, span: Span) {
@@ -69,13 +72,21 @@ impl Trace {
 
     /// End of the last span (the trace's horizon).
     pub fn horizon(&self) -> Nanos {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(Nanos::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(Nanos::ZERO)
     }
 
     /// Spans belonging to one station, in time order.
     pub fn station_spans(&self, station: u32) -> Vec<Span> {
-        let mut spans: Vec<Span> =
-            self.spans.iter().copied().filter(|s| s.station == station).collect();
+        let mut spans: Vec<Span> = self
+            .spans
+            .iter()
+            .copied()
+            .filter(|s| s.station == station)
+            .collect();
         spans.sort_by_key(|s| s.start);
         spans
     }
@@ -138,9 +149,24 @@ mod tests {
     #[test]
     fn horizon_and_station_filtering() {
         let mut t = Trace::new(2);
-        t.push(Span { station: 0, kind: SpanKind::DataOk, start: us(0), end: us(10) });
-        t.push(Span { station: 1, kind: SpanKind::DataFail, start: us(5), end: us(15) });
-        t.push(Span { station: 0, kind: SpanKind::Ack, start: us(20), end: us(25) });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::DataOk,
+            start: us(0),
+            end: us(10),
+        });
+        t.push(Span {
+            station: 1,
+            kind: SpanKind::DataFail,
+            start: us(5),
+            end: us(15),
+        });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::Ack,
+            start: us(20),
+            end: us(25),
+        });
         assert_eq!(t.horizon(), us(25));
         assert_eq!(t.station_spans(0).len(), 2);
         assert_eq!(t.station_spans(1).len(), 1);
@@ -149,18 +175,43 @@ mod tests {
     #[test]
     fn overlap_detection() {
         let mut t = Trace::new(1);
-        t.push(Span { station: 0, kind: SpanKind::DataOk, start: us(0), end: us(10) });
-        t.push(Span { station: 0, kind: SpanKind::Ack, start: us(10), end: us(12) });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::DataOk,
+            start: us(0),
+            end: us(10),
+        });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::Ack,
+            start: us(10),
+            end: us(12),
+        });
         assert!(t.first_overlap().is_none(), "touching spans are fine");
-        t.push(Span { station: 0, kind: SpanKind::Probe, start: us(11), end: us(13) });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::Probe,
+            start: us(11),
+            end: us(13),
+        });
         assert!(t.first_overlap().is_some());
     }
 
     #[test]
     fn ascii_render_shape() {
         let mut t = Trace::new(2);
-        t.push(Span { station: 0, kind: SpanKind::DataOk, start: us(0), end: us(50) });
-        t.push(Span { station: 1, kind: SpanKind::TimeoutWait, start: us(50), end: us(100) });
+        t.push(Span {
+            station: 0,
+            kind: SpanKind::DataOk,
+            start: us(0),
+            end: us(50),
+        });
+        t.push(Span {
+            station: 1,
+            kind: SpanKind::TimeoutWait,
+            start: us(50),
+            end: us(100),
+        });
         let art = t.render_ascii(40);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3); // two stations + axis

@@ -1,0 +1,347 @@
+//! The generic sweep engine: one [`Simulator`] trait, one [`Sweep`].
+//!
+//! Before this module existed, every execution backend (the abstract
+//! windowed simulator, the 802.11g MAC simulator) carried its own
+//! near-identical sweep struct, and many figures hand-rolled their own trial
+//! loops on top. The engine collapses all of that into:
+//!
+//! * [`Simulator`] — how to run one trial of a backend: an associated
+//!   `Config`, an associated raw `Output`, and a pure
+//!   `run(config, n, rng) -> Output` function.
+//! * [`run_trial`] — one trial with the canonical
+//!   `(experiment tag, algorithm, n, trial)` RNG derivation. Every trial in
+//!   the repository — sweeps, figures, benches — goes through this
+//!   derivation, so any number anywhere is reproducible in isolation.
+//! * [`Sweep`] — the Cartesian `(algorithm × n × trial)` grid, executed on
+//!   the deterministic parallel runner. Results are keyed by input index,
+//!   so the output (ordering *and* every number) is independent of the
+//!   worker-thread count.
+//!
+//! A backend plugs in by implementing `Simulator`; nothing else in the
+//! experiment layer changes. This is the seam where additional channel
+//! models (e.g. the noisy/corrupted-slot model of arXiv:2408.11275) slot in.
+
+use crate::parallel::parallel_map_threads;
+use crate::summary::TrialSummary;
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::rng::{experiment_tag, trial_rng};
+use rand::rngs::SmallRng;
+
+/// One execution backend: everything [`Sweep`] needs to run trials of it.
+///
+/// Implementations are zero-sized entry points (trial state lives inside
+/// `run`), so a `Sweep<S>` is fully described by its config and grid.
+pub trait Simulator {
+    /// Full per-trial configuration, including the algorithm under test.
+    type Config: Clone + Send + Sync;
+    /// Raw per-trial output. Backends with a [`TrialSummary`] conversion get
+    /// [`Sweep::run`]; the rest use [`Sweep::run_raw`].
+    type Output: Send;
+
+    /// Short name used in diagnostics.
+    const NAME: &'static str;
+
+    /// The algorithm a config runs — used to derive the per-trial RNG.
+    fn algorithm(config: &Self::Config) -> AlgorithmKind;
+
+    /// A copy of `config` running `algorithm` instead; how [`Sweep`] builds
+    /// each cell's config from its base config.
+    fn with_algorithm(config: &Self::Config, algorithm: AlgorithmKind) -> Self::Config;
+
+    /// One trial of `n` stations. Must be a pure function of
+    /// `(config, n, rng)` — determinism of every sweep rests on this.
+    fn run(config: &Self::Config, n: u32, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// Runs a single trial with the canonical RNG derivation.
+///
+/// This is the one place where `(experiment, algorithm, n, trial)` turns
+/// into a generator; figures, sweeps and benches all share it.
+pub fn run_trial<S: Simulator>(
+    experiment: &str,
+    config: &S::Config,
+    n: u32,
+    trial: u32,
+) -> S::Output {
+    let algorithm = S::algorithm(config);
+    let mut rng = trial_rng(experiment_tag(experiment), algorithm, n, trial);
+    S::run(config, n, &mut rng)
+}
+
+/// One aggregate cell: all trials of one `(algorithm, n)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell<T> {
+    pub algorithm: AlgorithmKind,
+    pub n: u32,
+    pub trials: Vec<T>,
+}
+
+/// The summarized cell type every figure consumes.
+pub type SweepCell = Cell<TrialSummary>;
+
+/// A Cartesian `(algorithm × n × trial)` sweep over one simulator.
+///
+/// Every trial derives its RNG from `(experiment tag, algorithm, n, trial)`,
+/// so the sweep's numbers are independent of thread count and scheduling.
+pub struct Sweep<S: Simulator> {
+    /// RNG namespace; also names the experiment in outputs.
+    pub experiment: &'static str,
+    /// Base configuration; the sweep overrides the algorithm per cell.
+    pub config: S::Config,
+    pub algorithms: Vec<AlgorithmKind>,
+    pub ns: Vec<u32>,
+    pub trials: u32,
+    /// Worker threads (`None` = all available).
+    pub threads: Option<usize>,
+}
+
+impl<S: Simulator> Clone for Sweep<S> {
+    fn clone(&self) -> Sweep<S> {
+        Sweep {
+            experiment: self.experiment,
+            config: self.config.clone(),
+            algorithms: self.algorithms.clone(),
+            ns: self.ns.clone(),
+            trials: self.trials,
+            threads: self.threads,
+        }
+    }
+}
+
+impl<S: Simulator> std::fmt::Debug for Sweep<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("simulator", &S::NAME)
+            .field("experiment", &self.experiment)
+            .field("algorithms", &self.algorithms)
+            .field("ns", &self.ns)
+            .field("trials", &self.trials)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<S: Simulator> Sweep<S> {
+    /// Runs the grid, mapping each raw output inside the worker thread
+    /// (large outputs are reduced before being collected).
+    pub fn run_mapped<T, F>(&self, map: F) -> Vec<Cell<T>>
+    where
+        T: Send,
+        F: Fn(S::Output) -> T + Sync,
+    {
+        // Cells are keyed by (algorithm, n) position; a duplicate grid entry
+        // would silently funnel every trial into the first occurrence.
+        for (i, a) in self.algorithms.iter().enumerate() {
+            assert!(
+                !self.algorithms[..i].contains(a),
+                "duplicate algorithm {a} in sweep grid"
+            );
+        }
+        for (i, n) in self.ns.iter().enumerate() {
+            assert!(!self.ns[..i].contains(n), "duplicate n={n} in sweep grid");
+        }
+        let tag = experiment_tag(self.experiment);
+        let items: Vec<(AlgorithmKind, u32, u32)> = self
+            .algorithms
+            .iter()
+            .flat_map(|&alg| {
+                self.ns
+                    .iter()
+                    .flat_map(move |&n| (0..self.trials).map(move |t| (alg, n, t)))
+            })
+            .collect();
+        let base = self.config.clone();
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let results = parallel_map_threads(items.clone(), threads, move |(alg, n, t)| {
+            let config = S::with_algorithm(&base, alg);
+            let mut rng = trial_rng(tag, alg, n, t);
+            map(S::run(&config, n, &mut rng))
+        });
+        collect_cells(&self.algorithms, &self.ns, self.trials, items, results)
+    }
+
+    /// Runs the grid, keeping each backend's raw output.
+    pub fn run_raw(&self) -> Vec<Cell<S::Output>> {
+        self.run_mapped(|output| output)
+    }
+}
+
+impl<S: Simulator> Sweep<S>
+where
+    TrialSummary: From<S::Output>,
+{
+    /// Runs the grid and summarizes every trial.
+    pub fn run(&self) -> Vec<SweepCell> {
+        self.run_mapped(TrialSummary::from)
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn collect_cells<T>(
+    algorithms: &[AlgorithmKind],
+    ns: &[u32],
+    trials: u32,
+    items: Vec<(AlgorithmKind, u32, u32)>,
+    results: Vec<T>,
+) -> Vec<Cell<T>> {
+    let mut cells: Vec<Cell<T>> = algorithms
+        .iter()
+        .flat_map(|&alg| {
+            ns.iter().map(move |&n| Cell {
+                algorithm: alg,
+                n,
+                trials: Vec::with_capacity(trials as usize),
+            })
+        })
+        .collect();
+    let index = |alg: AlgorithmKind, n: u32| -> usize {
+        let ai = algorithms
+            .iter()
+            .position(|&a| a == alg)
+            .expect("known algorithm");
+        let ni = ns.iter().position(|&m| m == n).expect("known n");
+        ai * ns.len() + ni
+    };
+    for ((alg, n, _), result) in items.into_iter().zip(results) {
+        cells[index(alg, n)].trials.push(result);
+    }
+    cells
+}
+
+/// Looks up one cell in a sweep result.
+pub fn cell<T>(cells: &[Cell<T>], alg: AlgorithmKind, n: u32) -> &Cell<T> {
+    cells
+        .iter()
+        .find(|c| c.algorithm == alg && c.n == n)
+        .unwrap_or_else(|| panic!("no cell for {alg} at n={n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_core::metrics::BatchMetrics;
+    use rand::Rng;
+
+    /// A deterministic toy backend: "runs" a trial by hashing its inputs.
+    struct ToySim;
+
+    #[derive(Debug, Clone, Copy)]
+    struct ToyConfig {
+        algorithm: AlgorithmKind,
+        scale: u64,
+    }
+
+    impl Simulator for ToySim {
+        type Config = ToyConfig;
+        type Output = BatchMetrics;
+        const NAME: &'static str = "toy";
+
+        fn algorithm(config: &ToyConfig) -> AlgorithmKind {
+            config.algorithm
+        }
+
+        fn with_algorithm(config: &ToyConfig, algorithm: AlgorithmKind) -> ToyConfig {
+            ToyConfig {
+                algorithm,
+                ..*config
+            }
+        }
+
+        fn run(config: &ToyConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+            BatchMetrics {
+                n,
+                successes: n,
+                cw_slots: config.scale * rng.gen_range(1u64..100),
+                ..BatchMetrics::default()
+            }
+        }
+    }
+
+    fn toy_sweep(threads: Option<usize>) -> Sweep<ToySim> {
+        Sweep::<ToySim> {
+            experiment: "engine-test",
+            config: ToyConfig {
+                algorithm: AlgorithmKind::Beb,
+                scale: 3,
+            },
+            algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+            ns: vec![5, 10, 20],
+            trials: 4,
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_is_complete_and_cell_lookup_works() {
+        let cells = toy_sweep(Some(2)).run();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().all(|c| c.trials.len() == 4));
+        assert_eq!(cell(&cells, AlgorithmKind::Sawtooth, 20).n, 20);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let one = toy_sweep(Some(1)).run();
+        let many = toy_sweep(Some(7)).run();
+        assert_eq!(one, many, "thread count changed results");
+    }
+
+    #[test]
+    fn run_raw_and_run_agree() {
+        let raw = toy_sweep(Some(2)).run_raw();
+        let summarized = toy_sweep(Some(2)).run();
+        for (r, s) in raw.iter().zip(&summarized) {
+            for (m, t) in r.trials.iter().zip(&s.trials) {
+                assert_eq!(TrialSummary::from_metrics(m), *t);
+            }
+        }
+    }
+
+    #[test]
+    fn run_trial_matches_the_sweep_stream() {
+        // The single-trial entry point must hit the same RNG stream the
+        // sweep derives, so bench trials and sweep trials are interchangeable.
+        let sweep = toy_sweep(Some(1));
+        let cells = sweep.run_raw();
+        let config = ToyConfig {
+            algorithm: AlgorithmKind::Beb,
+            scale: 3,
+        };
+        let lone = run_trial::<ToySim>("engine-test", &config, 10, 2);
+        assert_eq!(cell(&cells, AlgorithmKind::Beb, 10).trials[2], lone);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell")]
+    fn missing_cell_panics() {
+        let cells: Vec<SweepCell> = Vec::new();
+        let _ = cell(&cells, AlgorithmKind::Beb, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate n=10")]
+    fn duplicate_grid_entries_are_rejected() {
+        let mut sweep = toy_sweep(Some(1));
+        sweep.ns = vec![10, 10];
+        let _ = sweep.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate algorithm")]
+    fn duplicate_algorithms_are_rejected() {
+        let mut sweep = toy_sweep(Some(1));
+        sweep.algorithms = vec![AlgorithmKind::Beb, AlgorithmKind::Beb];
+        let _ = sweep.run();
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_sequential() {
+        let cells = toy_sweep(Some(0)).run();
+        assert_eq!(cells, toy_sweep(Some(1)).run());
+    }
+}

@@ -93,7 +93,12 @@ impl<E> EventQueue<E> {
         self.next_token += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, token, payload });
+        self.heap.push(Entry {
+            at,
+            seq,
+            token,
+            payload,
+        });
         EventToken(token)
     }
 

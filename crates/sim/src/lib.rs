@@ -1,19 +1,28 @@
 //! # contention-sim
 //!
-//! Discrete-event simulation substrate for the contention-resolution
-//! reproduction:
+//! Execution substrate for the contention-resolution reproduction:
 //!
 //! * [`event`] — a time-ordered pending-event queue with O(log n) scheduling,
 //!   stable FIFO tie-breaking at equal timestamps, and token-based lazy
 //!   cancellation (needed for backoff timers that freeze when the medium
 //!   goes busy).
 //! * [`parallel`] — a deterministic parallel trial executor built on
-//!   crossbeam scoped threads; work items are claimed through an atomic
+//!   std scoped threads; work items are claimed through an atomic
 //!   index so the output order is always the input order regardless of
 //!   thread scheduling.
+//! * [`engine`] — the generic sweep engine: the [`engine::Simulator`] trait
+//!   every backend implements, the canonical per-trial RNG derivation, and
+//!   the thread-count-independent [`engine::Sweep`] grid runner.
+//! * [`summary`] — [`summary::TrialSummary`], the scalar per-trial record
+//!   every backend's output reduces to, and the [`summary::Metric`]
+//!   selectors figures plot.
 
+pub mod engine;
 pub mod event;
 pub mod parallel;
+pub mod summary;
 
+pub use engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
 pub use event::{EventQueue, EventToken};
 pub use parallel::{parallel_map, parallel_map_threads};
+pub use summary::{Metric, TrialSummary};

@@ -1,8 +1,9 @@
 //! Deterministic parallel execution of independent trials.
 //!
 //! The paper ran its sweeps on four 16-core Xeon nodes; here the same
-//! embarrassing parallelism is captured with crossbeam scoped threads. Work
-//! items are claimed via a single atomic counter (no chunking), which gives
+//! embarrassing parallelism is captured with `std::thread::scope` (stable
+//! since Rust 1.63, so no crossbeam dependency). Work items are claimed via
+//! a single atomic counter (no chunking), which gives
 //! near-perfect load balance when trial costs vary by orders of magnitude
 //! across `n` — exactly the shape of these sweeps. Results land in a
 //! pre-sized output vector at their input index, so output order (and,
@@ -49,9 +50,11 @@ where
     let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    // A worker panic propagates when the scope joins, matching the old
+    // crossbeam behaviour of surfacing the panic to the caller.
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -61,8 +64,7 @@ where
                 *out[i].lock() = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     out.into_iter()
         .map(|cell| cell.into_inner().expect("missing result"))

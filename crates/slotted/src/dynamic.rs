@@ -154,7 +154,10 @@ impl DynamicSim {
             "{} has no static window schedule",
             config.algorithm
         );
-        assert!(config.arrivals.offered_load() > 0.0, "arrival rate must be positive");
+        assert!(
+            config.arrivals.offered_load() > 0.0,
+            "arrival rate must be positive"
+        );
         DynamicSim { config }
     }
 
@@ -221,7 +224,10 @@ impl DynamicSim {
                     .expect("checked in new()");
                 let timer = rng.gen_range(0..schedule.next_window() as u64);
                 let id = packets.len() as u32;
-                packets.push(Packet { arrival_wall: wall, schedule });
+                packets.push(Packet {
+                    arrival_wall: wall,
+                    schedule,
+                });
                 heap.push(Reverse((idle_coord + timer, id)));
             }
 
@@ -287,6 +293,33 @@ impl DynamicSim {
     }
 }
 
+/// Plugs the dynamic-traffic simulator into the generic sweep engine.
+///
+/// A dynamic run has no batch size: offered load comes from the arrival
+/// process in the config, so the engine's `n` is ignored. By convention
+/// sweeps over this backend use `ns: vec![0]`, which also matches the RNG
+/// derivation dynamic experiments have always used (`n = 0`).
+impl contention_sim::engine::Simulator for DynamicSim {
+    type Config = DynamicConfig;
+    type Output = DynamicMetrics;
+    const NAME: &'static str = "dynamic";
+
+    fn algorithm(config: &DynamicConfig) -> AlgorithmKind {
+        config.algorithm
+    }
+
+    fn with_algorithm(config: &DynamicConfig, algorithm: AlgorithmKind) -> DynamicConfig {
+        DynamicConfig {
+            algorithm,
+            ..*config
+        }
+    }
+
+    fn run(config: &DynamicConfig, _n: u32, rng: &mut rand::rngs::SmallRng) -> DynamicMetrics {
+        DynamicSim::new(*config).run(rng)
+    }
+}
+
 /// Exponential inter-arrival sample with the given rate (events per slot).
 fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -319,7 +352,10 @@ mod tests {
 
     #[test]
     fn offered_load_accounts_bursts() {
-        let p = ArrivalProcess::PoissonBursts { rate: 0.001, size: 50 };
+        let p = ArrivalProcess::PoissonBursts {
+            rate: 0.001,
+            size: 50,
+        };
         assert!((p.offered_load() - 0.05).abs() < 1e-12);
     }
 
@@ -338,8 +374,14 @@ mod tests {
 
     #[test]
     fn collision_cost_slows_completion() {
-        let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0005, size: 40 };
-        let cheap = run(DynamicConfig::abstract_model(AlgorithmKind::LogBackoff, arrivals), 1);
+        let arrivals = ArrivalProcess::PoissonBursts {
+            rate: 0.0005,
+            size: 40,
+        };
+        let cheap = run(
+            DynamicConfig::abstract_model(AlgorithmKind::LogBackoff, arrivals),
+            1,
+        );
         let pricey = run(
             DynamicConfig {
                 collision_cost: 13,
@@ -372,7 +414,10 @@ mod tests {
     fn deterministic_per_seed() {
         let config = DynamicConfig::abstract_model(
             AlgorithmKind::Sawtooth,
-            ArrivalProcess::PoissonBursts { rate: 0.001, size: 20 },
+            ArrivalProcess::PoissonBursts {
+                rate: 0.001,
+                size: 20,
+            },
         );
         assert_eq!(run(config, 3), run(config, 3));
         assert_ne!(run(config, 3), run(config, 4));
@@ -382,7 +427,10 @@ mod tests {
     fn latency_percentiles_are_ordered() {
         let config = DynamicConfig::abstract_model(
             AlgorithmKind::Beb,
-            ArrivalProcess::PoissonBursts { rate: 0.0008, size: 30 },
+            ArrivalProcess::PoissonBursts {
+                rate: 0.0008,
+                size: 30,
+            },
         );
         let m = run(config, 5);
         assert!(m.mean_latency <= m.p95_latency + 1e-9, "{m:?}");

@@ -16,6 +16,8 @@ use contention_core::algorithm::AlgorithmKind;
 use contention_core::metrics::{BatchMetrics, StationMetrics};
 use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
 use contention_core::time::Nanos;
+use contention_sim::engine::Simulator;
+use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -140,6 +142,28 @@ impl ResidualSim {
         metrics.total_time = self.config.slot * metrics.cw_slots;
         metrics.half_time = self.config.slot * metrics.half_cw_slots;
         metrics
+    }
+}
+
+/// Plugs the residual-timer semantics into the generic sweep engine.
+impl Simulator for ResidualSim {
+    type Config = ResidualConfig;
+    type Output = BatchMetrics;
+    const NAME: &'static str = "residual";
+
+    fn algorithm(config: &ResidualConfig) -> AlgorithmKind {
+        config.algorithm
+    }
+
+    fn with_algorithm(config: &ResidualConfig, algorithm: AlgorithmKind) -> ResidualConfig {
+        ResidualConfig {
+            algorithm,
+            ..*config
+        }
+    }
+
+    fn run(config: &ResidualConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+        ResidualSim::new(*config).run(n, rng)
     }
 }
 

@@ -11,6 +11,8 @@ use contention_core::algorithm::AlgorithmKind;
 use contention_core::metrics::{BatchMetrics, StationMetrics};
 use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
 use contention_core::time::Nanos;
+use contention_sim::engine::Simulator;
+use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Configuration for one abstract windowed run.
@@ -73,7 +75,12 @@ impl WindowedSim {
                     config.algorithm
                 )
             });
-        WindowedSim { config, schedule, occupancy: Vec::new(), counted: Vec::new() }
+        WindowedSim {
+            config,
+            schedule,
+            occupancy: Vec::new(),
+            counted: Vec::new(),
+        }
     }
 
     /// Runs one single-batch trial of `n` stations.
@@ -142,8 +149,7 @@ impl WindowedSim {
                 done[station as usize] = true;
                 metrics.successes += 1;
                 let at_slot = slots_before_window + slot as u64 + 1;
-                metrics.stations[station as usize].success_time =
-                    Some(self.config.slot * at_slot);
+                metrics.stations[station as usize].success_time = Some(self.config.slot * at_slot);
                 if metrics.successes == half_target {
                     metrics.half_cw_slots = at_slot;
                 }
@@ -170,6 +176,29 @@ impl WindowedSim {
         metrics.total_time = self.config.slot * metrics.cw_slots;
         metrics.half_time = self.config.slot * metrics.half_cw_slots;
         metrics
+    }
+}
+
+/// Plugs the windowed semantics into the generic sweep engine. Fresh
+/// per-trial state keeps `run` a pure function of `(config, n, rng)`.
+impl Simulator for WindowedSim {
+    type Config = WindowedConfig;
+    type Output = BatchMetrics;
+    const NAME: &'static str = "windowed";
+
+    fn algorithm(config: &WindowedConfig) -> AlgorithmKind {
+        config.algorithm
+    }
+
+    fn with_algorithm(config: &WindowedConfig, algorithm: AlgorithmKind) -> WindowedConfig {
+        WindowedConfig {
+            algorithm,
+            ..*config
+        }
+    }
+
+    fn run(config: &WindowedConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+        WindowedSim::new(*config).run(n, rng)
     }
 }
 
@@ -252,10 +281,7 @@ mod tests {
         };
         let beb = med(AlgorithmKind::Beb);
         let stb = med(AlgorithmKind::Sawtooth);
-        assert!(
-            stb < beb,
-            "STB ({stb}) should beat BEB ({beb}) on CW slots"
-        );
+        assert!(stb < beb, "STB ({stb}) should beat BEB ({beb}) on CW slots");
     }
 
     #[test]
@@ -280,8 +306,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "no static window schedule")]
     fn best_of_k_is_rejected() {
-        let _ = WindowedSim::new(WindowedConfig::abstract_model(
-            AlgorithmKind::BestOfK { k: 3 },
-        ));
+        let _ = WindowedSim::new(WindowedConfig::abstract_model(AlgorithmKind::BestOfK {
+            k: 3,
+        }));
     }
 }

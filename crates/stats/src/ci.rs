@@ -89,9 +89,7 @@ mod tests {
 
     #[test]
     fn methods_roughly_agree() {
-        let sample: Vec<f64> = (0..100)
-            .map(|x| 50.0 + ((x * 7919) % 23) as f64)
-            .collect();
+        let sample: Vec<f64> = (0..100).map(|x| 50.0 + ((x * 7919) % 23) as f64).collect();
         let (lo_o, hi_o) = median_ci95(&sample);
         let (lo_b, hi_b) = bootstrap_median_ci(&sample, 2_000, 1);
         // Same ballpark: intervals overlap.

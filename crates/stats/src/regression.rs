@@ -72,7 +72,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     } else {
         two_sided_p(t_statistic, df as f64)
     };
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
 
     LinearFit {
         slope,

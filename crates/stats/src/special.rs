@@ -37,15 +37,17 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// fraction with the standard symmetry switch for convergence.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "betai requires positive parameters");
-    assert!((0.0..=1.0).contains(&x), "betai requires 0 ≤ x ≤ 1, got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires 0 ≤ x ≤ 1, got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

@@ -14,7 +14,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(60);
-    let arrivals = ArrivalProcess::PoissonBursts { rate: 0.0008, size: burst_size };
+    let arrivals = ArrivalProcess::PoissonBursts {
+        rate: 0.0008,
+        size: burst_size,
+    };
     println!(
         "Poisson bursts of {burst_size} packets, offered load {:.3} packets/slot\n",
         arrivals.offered_load()

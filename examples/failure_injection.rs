@@ -17,7 +17,12 @@ fn main() {
     for loss in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
         config.ack_loss_prob = loss;
-        let mut rng = trial_rng(experiment_tag("failure-injection"), AlgorithmKind::Beb, n, 0);
+        let mut rng = trial_rng(
+            experiment_tag("failure-injection"),
+            AlgorithmKind::Beb,
+            n,
+            0,
+        );
         let run = simulate(&config, n, &mut rng);
         let m = &run.metrics;
         assert_eq!(m.successes, n);

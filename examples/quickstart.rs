@@ -30,7 +30,10 @@ fn main() {
     }
     println!("→ in the abstract model the newer algorithms clearly beat BEB on CW slots.\n");
 
-    println!("{:-^72}", " IEEE 802.11g DCF simulator (what NS3 measures) ");
+    println!(
+        "{:-^72}",
+        " IEEE 802.11g DCF simulator (what NS3 measures) "
+    );
     println!(
         "{:>5} {:>12} {:>14} {:>14} {:>12}",
         "alg", "CW slots", "total time", "collisions", "max ACK-TO"

@@ -8,7 +8,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `contention-core` | backoff schedules, collision-cost model, asymptotic bounds, 802.11g parameters, BEST-OF-k spec, metrics |
-//! | [`sim`] | `contention-sim` | event queue, parallel trial runner |
+//! | [`sim`] | `contention-sim` | event queue, parallel trial runner, generic `Simulator`/`Sweep` engine |
 //! | [`slotted`] | `contention-slotted` | abstract A0–A2 simulator (windowed + residual) |
 //! | [`mac`] | `contention-mac` | event-driven IEEE 802.11g DCF simulator |
 //! | [`stats`] | `contention-stats` | medians, outlier rule, CIs, OLS regression |
@@ -45,7 +45,9 @@ pub mod prelude {
     pub use contention_core::rng::{experiment_tag, trial_rng};
     pub use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
     pub use contention_core::time::Nanos;
-    pub use contention_mac::{simulate, MacConfig, MacRun, Trace};
+    pub use contention_mac::{simulate, MacConfig, MacRun, MacSim, Trace};
+    pub use contention_sim::engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
+    pub use contention_sim::summary::{Metric, TrialSummary};
     pub use contention_slotted::residual::{ResidualConfig, ResidualSim};
     pub use contention_slotted::windowed::{WindowedConfig, WindowedSim};
     pub use contention_stats::regression::linear_fit;

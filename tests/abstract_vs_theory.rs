@@ -47,13 +47,24 @@ fn table3_collision_ratios() {
         let stb = col(AlgorithmKind::Sawtooth, n);
         let lb = col(AlgorithmKind::LogBackoff, n);
         let beb = col(AlgorithmKind::Beb, n);
-        assert!(lb / stb > 1.0, "n={n}: LB/STB = {:.2} should exceed 1", lb / stb);
-        assert!(beb / stb < 1.0, "n={n}: BEB/STB = {:.2} should stay below 1", beb / stb);
+        assert!(
+            lb / stb > 1.0,
+            "n={n}: LB/STB = {:.2} should exceed 1",
+            lb / stb
+        );
+        assert!(
+            beb / stb < 1.0,
+            "n={n}: BEB/STB = {:.2} should stay below 1",
+            beb / stb
+        );
         beb_ratios.push(beb / stb);
     }
     let spread = beb_ratios.iter().cloned().fold(f64::MIN, f64::max)
         / beb_ratios.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 1.5, "BEB/STB should be flat, ratios {beb_ratios:?}");
+    assert!(
+        spread < 1.5,
+        "BEB/STB should be flat, ratios {beb_ratios:?}"
+    );
 }
 
 /// Growth-rate fits: measured/bound ratios stay within a small band over a
@@ -62,14 +73,18 @@ fn table3_collision_ratios() {
 fn linear_algorithms_grow_linearly() {
     let trials = 5;
     for (kind, metric) in [
-        (AlgorithmKind::Sawtooth, "cw" ),
+        (AlgorithmKind::Sawtooth, "cw"),
         (AlgorithmKind::Beb, "collisions"),
     ] {
         let ratios: Vec<f64> = [1_000u32, 4_000, 16_000]
             .iter()
             .map(|&n| {
                 let measured = abstract_median(kind, n, trials, &|m| {
-                    if metric == "cw" { m.cw_slots as f64 } else { m.collisions as f64 }
+                    if metric == "cw" {
+                        m.cw_slots as f64
+                    } else {
+                        m.collisions as f64
+                    }
                 });
                 measured / n as f64
             })
@@ -89,7 +104,9 @@ fn linear_algorithms_grow_linearly() {
 fn lb_collisions_are_superlinear() {
     let trials = 5;
     let per_n = |n: u32| {
-        abstract_median(AlgorithmKind::LogBackoff, n, trials, &|m| m.collisions as f64) / n as f64
+        abstract_median(AlgorithmKind::LogBackoff, n, trials, &|m| {
+            m.collisions as f64
+        }) / n as f64
     };
     let small = per_n(1_000);
     let large = per_n(16_000);

@@ -7,7 +7,13 @@
 use contention_resolution::prelude::*;
 use contention_stats::summary::median;
 
-fn mac_median(kind: AlgorithmKind, payload: u32, n: u32, trials: u32, f: &dyn Fn(&MacRun) -> f64) -> f64 {
+fn mac_median(
+    kind: AlgorithmKind,
+    payload: u32,
+    n: u32,
+    trials: u32,
+    f: &dyn Fn(&MacRun) -> f64,
+) -> f64 {
     let config = MacConfig::paper(kind, payload);
     let xs: Vec<f64> = (0..trials)
         .map(|t| {
@@ -44,7 +50,9 @@ fn result1_cw_slot_ordering() {
 fn result2_total_time_reversal() {
     let trials = 11;
     let tt = |kind, payload| {
-        mac_median(kind, payload, 150, trials, &|r| r.metrics.total_time.as_micros_f64())
+        mac_median(kind, payload, 150, trials, &|r| {
+            r.metrics.total_time.as_micros_f64()
+        })
     };
     let beb64 = tt(AlgorithmKind::Beb, 64);
     let lb64 = tt(AlgorithmKind::LogBackoff, 64);
@@ -71,13 +79,23 @@ fn result2_total_time_reversal() {
 #[test]
 fn fig11_ack_timeout_ordering() {
     let trials = 11;
-    let to = |kind| mac_median(kind, 64, 150, trials, &|r| r.metrics.max_ack_timeouts() as f64);
+    let to = |kind| {
+        mac_median(kind, 64, 150, trials, &|r| {
+            r.metrics.max_ack_timeouts() as f64
+        })
+    };
     let beb = to(AlgorithmKind::Beb);
     let lb = to(AlgorithmKind::LogBackoff);
     let stb = to(AlgorithmKind::Sawtooth);
     assert!(beb <= lb && beb <= stb, "BEB {beb}, LB {lb}, STB {stb}");
-    assert!((5.0..=20.0).contains(&beb), "BEB max ACK timeouts {beb} out of band");
-    assert!(stb >= 1.5 * beb, "STB ({stb}) should be well above BEB ({beb})");
+    assert!(
+        (5.0..=20.0).contains(&beb),
+        "BEB max ACK timeouts {beb} out of band"
+    );
+    assert!(
+        stb >= 1.5 * beb,
+        "STB ({stb}) should be well above BEB ({beb})"
+    );
 }
 
 /// Result 7: BEST-OF-k beats BEB by a margin in the paper's ballpark, and
@@ -86,7 +104,11 @@ fn fig11_ack_timeout_ordering() {
 fn result7_best_of_k() {
     let trials = 9;
     let n = 150;
-    let tt = |kind| mac_median(kind, 64, n, trials, &|r| r.metrics.total_time.as_micros_f64());
+    let tt = |kind| {
+        mac_median(kind, 64, n, trials, &|r| {
+            r.metrics.total_time.as_micros_f64()
+        })
+    };
     let beb = tt(AlgorithmKind::Beb);
     for k in [3u32, 5] {
         let bok = tt(AlgorithmKind::BestOfK { k });
@@ -98,9 +120,20 @@ fn result7_best_of_k() {
     }
     let config = MacConfig::paper(AlgorithmKind::BestOfK { k: 5 }, 64);
     for t in 0..trials {
-        let mut rng = trial_rng(experiment_tag("acceptance-est"), AlgorithmKind::BestOfK { k: 5 }, n, t);
+        let mut rng = trial_rng(
+            experiment_tag("acceptance-est"),
+            AlgorithmKind::BestOfK { k: 5 },
+            n,
+            t,
+        );
         let run = simulate(&config, n, &mut rng);
-        let min_est = run.estimates.iter().flatten().min().copied().expect("estimates");
+        let min_est = run
+            .estimates
+            .iter()
+            .flatten()
+            .min()
+            .copied()
+            .expect("estimates");
         assert!(min_est >= n / 2, "estimate {min_est} collapsed below n/2");
     }
 }
@@ -113,7 +146,12 @@ fn decomposition_lower_bound() {
     for payload in [64u32, 1024] {
         let config = MacConfig::paper(AlgorithmKind::Beb, payload);
         for t in 0..5 {
-            let mut rng = trial_rng(experiment_tag("acceptance-decomp"), AlgorithmKind::Beb, 150, t);
+            let mut rng = trial_rng(
+                experiment_tag("acceptance-decomp"),
+                AlgorithmKind::Beb,
+                150,
+                t,
+            );
             let run = simulate(&config, 150, &mut rng);
             let d = Decomposition::from_measurements(
                 &phy,
@@ -128,7 +166,10 @@ fn decomposition_lower_bound() {
                 d.lower_bound(),
                 run.metrics.total_time
             );
-            assert!(d.transmission > d.ack_timeouts, "transmission must dominate");
+            assert!(
+                d.transmission > d.ack_timeouts,
+                "transmission must dominate"
+            );
         }
     }
 }

@@ -33,7 +33,10 @@ fn light_load_is_easy_for_everyone() {
 /// multiply.
 #[test]
 fn collision_cost_amplifies_deficits_on_streams() {
-    let arrivals = ArrivalProcess::PoissonBursts { rate: 0.000_6, size: 50 };
+    let arrivals = ArrivalProcess::PoissonBursts {
+        rate: 0.000_6,
+        size: 50,
+    };
     let trials = 5;
     let latency = |kind: AlgorithmKind, mac_costs: bool| {
         let config = if mac_costs {
@@ -97,7 +100,10 @@ fn burstiness_hurts() {
     let bursts = run_median(
         DynamicConfig::abstract_model(
             kind,
-            ArrivalProcess::PoissonBursts { rate: 0.000_25, size: 80 },
+            ArrivalProcess::PoissonBursts {
+                rate: 0.000_25,
+                size: 80,
+            },
         ),
         5,
     );

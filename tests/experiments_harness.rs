@@ -6,7 +6,12 @@ use contention_experiments::options::Options;
 use std::path::PathBuf;
 
 fn tiny_options() -> Options {
-    Options { full: false, trials: Some(3), out_dir: None, threads: Some(2) }
+    Options {
+        full: false,
+        trials: Some(3),
+        out_dir: None,
+        threads: Some(2),
+    }
 }
 
 /// Every experiment in the registry runs to completion and says something.
@@ -28,8 +33,7 @@ fn every_registered_experiment_runs() {
 #[test]
 fn csv_artifacts_are_written() {
     let opts = tiny_options();
-    let dir: PathBuf =
-        std::env::temp_dir().join(format!("repro-csv-test-{}", std::process::id()));
+    let dir: PathBuf = std::env::temp_dir().join(format!("repro-csv-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     // fig3 exercises the Series writer; table1 has no CSV; fig13 exercises

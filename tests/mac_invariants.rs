@@ -30,7 +30,10 @@ fn conservation_laws() {
             let run = simulate(&config, n, &mut rng);
             let m = &run.metrics;
             assert_eq!(m.successes, n, "{name} n={n}: incomplete");
-            assert!(m.attempts_balance(), "{name} n={n}: attempts ≠ successes + timeouts");
+            assert!(
+                m.attempts_balance(),
+                "{name} n={n}: attempts ≠ successes + timeouts"
+            );
             assert_eq!(
                 m.colliding_stations + run.probe_corruptions,
                 m.total_ack_timeouts() + lost_acks(m, &run),
@@ -40,8 +43,14 @@ fn conservation_laws() {
             assert!(m.half_cw_slots <= m.cw_slots, "{name} n={n}");
             for (i, s) in m.stations.iter().enumerate() {
                 let done = s.success_time.expect("completed run");
-                assert!(done <= m.total_time, "{name} n={n}: station {i} finished late");
-                assert!(s.attempts >= 1, "{name} n={n}: station {i} never transmitted");
+                assert!(
+                    done <= m.total_time,
+                    "{name} n={n}: station {i} finished late"
+                );
+                assert!(
+                    s.attempts >= 1,
+                    "{name} n={n}: station {i} never transmitted"
+                );
                 assert_eq!(
                     s.attempts,
                     s.ack_timeouts + 1,
@@ -88,7 +97,11 @@ fn traces_are_consistent() {
         let mut rng = trial_rng(experiment_tag("mac-trace-inv"), kind, 30, 0);
         let run = simulate(&config, 30, &mut rng);
         let trace = run.trace.expect("trace");
-        assert!(trace.first_overlap().is_none(), "{kind}: {:?}", trace.first_overlap());
+        assert!(
+            trace.first_overlap().is_none(),
+            "{kind}: {:?}",
+            trace.first_overlap()
+        );
         let fails = trace
             .spans
             .iter()
@@ -121,7 +134,10 @@ fn eifs_ablation_direction() {
         let mut xs: Vec<f64> = (0..9)
             .map(|t| {
                 let mut rng = trial_rng(experiment_tag("mac-eifs"), config.algorithm, 80, t);
-                simulate(&config, 80, &mut rng).metrics.total_time.as_micros_f64()
+                simulate(&config, 80, &mut rng)
+                    .metrics
+                    .total_time
+                    .as_micros_f64()
             })
             .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

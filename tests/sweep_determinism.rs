@@ -1,0 +1,148 @@
+//! Cross-engine golden determinism: the generic `Sweep<S>` must yield
+//! byte-identical `TrialSummary` values regardless of the worker-thread
+//! count, for every simulator backend.
+//!
+//! "Byte-identical" is checked literally: every `f64` is compared by its
+//! bit pattern, not by `==`, so even a sign-of-zero or NaN-payload drift
+//! between thread counts would fail.
+
+use contention_resolution::prelude::*;
+use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
+
+/// The bit-exact image of a `TrialSummary`.
+fn bits(t: &TrialSummary) -> Vec<u64> {
+    vec![
+        t.n as u64,
+        t.successes as u64,
+        t.cw_slots.to_bits(),
+        t.half_cw_slots.to_bits(),
+        t.total_time_us.to_bits(),
+        t.half_time_us.to_bits(),
+        t.collisions.to_bits(),
+        t.colliding_stations.to_bits(),
+        t.ack_timeouts.to_bits(),
+        t.max_ack_timeouts.to_bits(),
+        t.max_ack_timeout_time_us.to_bits(),
+        t.median_estimate.to_bits(),
+    ]
+}
+
+fn assert_thread_count_invariant<S: Simulator>(sweep_for: impl Fn(usize) -> Sweep<S>)
+where
+    TrialSummary: From<S::Output>,
+{
+    let golden: Vec<Vec<Vec<u64>>> = sweep_for(1)
+        .run()
+        .iter()
+        .map(|c| c.trials.iter().map(bits).collect())
+        .collect();
+    assert!(!golden.is_empty() && golden.iter().all(|c| !c.is_empty()));
+    for threads in [2usize, 8] {
+        let cells = sweep_for(threads).run();
+        let got: Vec<Vec<Vec<u64>>> = cells
+            .iter()
+            .map(|c| c.trials.iter().map(bits).collect())
+            .collect();
+        assert_eq!(
+            golden,
+            got,
+            "{}: results changed between 1 and {threads} worker threads",
+            S::NAME
+        );
+    }
+}
+
+/// The MAC (802.11g DCF) simulator through the generic engine.
+#[test]
+fn mac_sweep_is_thread_count_invariant() {
+    assert_thread_count_invariant(|threads| Sweep::<MacSim> {
+        experiment: "golden-mac",
+        config: MacConfig::paper(AlgorithmKind::Beb, 64),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![8, 25],
+        trials: 5,
+        threads: Some(threads),
+    });
+}
+
+/// The abstract windowed simulator through the generic engine.
+#[test]
+fn windowed_sweep_is_thread_count_invariant() {
+    assert_thread_count_invariant(|threads| Sweep::<WindowedSim> {
+        experiment: "golden-windowed",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
+        ns: vec![40, 120],
+        trials: 5,
+        threads: Some(threads),
+    });
+}
+
+/// The residual-timer semantics through the generic engine.
+#[test]
+fn residual_sweep_is_thread_count_invariant() {
+    assert_thread_count_invariant(|threads| Sweep::<ResidualSim> {
+        experiment: "golden-residual",
+        config: ResidualConfig::paper(AlgorithmKind::LogBackoff),
+        algorithms: vec![AlgorithmKind::LogBackoff],
+        ns: vec![60],
+        trials: 6,
+        threads: Some(threads),
+    });
+}
+
+/// The dynamic-traffic simulator has no `TrialSummary` conversion; check
+/// its raw output across thread counts instead.
+#[test]
+fn dynamic_sweep_is_thread_count_invariant() {
+    let sweep_for = |threads: usize| Sweep::<DynamicSim> {
+        experiment: "golden-dynamic",
+        config: DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonBursts {
+                rate: 0.001,
+                size: 20,
+            },
+        ),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![0],
+        trials: 4,
+        threads: Some(threads),
+    };
+    let golden = sweep_for(1).run_raw();
+    for threads in [2usize, 8] {
+        let got = sweep_for(threads).run_raw();
+        for (g, r) in golden.iter().zip(&got) {
+            assert_eq!(g.algorithm, r.algorithm);
+            assert_eq!(
+                g.trials, r.trials,
+                "dynamic results changed at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The same sweep re-run in the same process reproduces itself exactly —
+/// the engine holds no hidden mutable state.
+#[test]
+fn sweeps_are_pure_functions_of_their_inputs() {
+    let sweep = Sweep::<MacSim> {
+        experiment: "golden-repeat",
+        config: MacConfig::paper(AlgorithmKind::LogLogBackoff, 1024),
+        algorithms: vec![AlgorithmKind::LogLogBackoff],
+        ns: vec![20],
+        trials: 4,
+        threads: None,
+    };
+    let a: Vec<Vec<Vec<u64>>> = sweep
+        .run()
+        .iter()
+        .map(|c| c.trials.iter().map(bits).collect())
+        .collect();
+    let b: Vec<Vec<Vec<u64>>> = sweep
+        .run()
+        .iter()
+        .map(|c| c.trials.iter().map(bits).collect())
+        .collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,85 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm `rand`'s `SmallRng` uses on 64-bit targets.
+///
+/// Fast (4 u64 of state, a handful of ops per word), equidistributed, and
+/// passes BigCrush; entirely unsuitable for cryptography, which is fine for
+/// a simulation workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> SmallRng {
+        // Expand the seed with SplitMix64, as rand_xoshiro documents; the
+        // all-zero state (unreachable this way) would be a fixed point.
+        let mut x = state;
+        let s = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference_vectors() {
+        // Reference sequence for the state {1, 2, 3, 4} from the official
+        // xoshiro256plusplus.c implementation (Blackman & Vigna).
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn state_never_collapses_to_zero() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..1_000 {
+            rng.next_u64();
+        }
+        assert_ne!(rng.s, [0, 0, 0, 0]);
+    }
+}

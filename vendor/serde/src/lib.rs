@@ -1,0 +1,18 @@
+//! Offline shim of the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` names — trait and derive-macro —
+//! so data types across the workspace can declare themselves
+//! serialization-ready. The derives are no-ops (see `serde_derive`); no
+//! code in the workspace currently bounds on these traits.
+
+/// Marker for types that will serialize once a real serde is available.
+pub trait Serialize {}
+
+/// Marker for types that will deserialize once a real serde is available.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` companions to the vendored
+//! `serde` shim.
+//!
+//! The workspace derives the traits on its data types so the structure is
+//! serialization-ready, but nothing in the workspace bounds on the traits
+//! yet (CSV output is hand-rendered), so the derives validate nothing and
+//! emit no code. When real serialization lands, these become real derives —
+//! or the shim is replaced by upstream serde wholesale.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
