@@ -16,6 +16,10 @@
 //! * [`bounds`] — closed-form asymptotic guarantees from Tables II and III.
 //! * [`params`] — the IEEE 802.11g parameter set of Table I.
 //! * [`estimate`] — the BEST-OF-k size-estimation specification (§VI).
+//! * [`channel`] — channel models: the paper's fatal-collision channel and
+//!   the softened-collision / noisy channel of arXiv:2408.11275
+//!   (`p_recover(k)` + per-slot erasures), sampled identically by every
+//!   simulator.
 //! * [`metrics`] — metric types shared by both simulators (CW slots, total
 //!   time, disjoint collisions, per-station ACK-timeout accounting).
 //! * [`time`] — nanosecond-resolution simulated time.
@@ -28,6 +32,7 @@
 
 pub mod algorithm;
 pub mod bounds;
+pub mod channel;
 pub mod estimate;
 pub mod metrics;
 pub mod model;
@@ -38,6 +43,7 @@ pub mod time;
 pub mod util;
 
 pub use algorithm::AlgorithmKind;
+pub use channel::{ChannelModel, Recovery, SlotFate};
 pub use estimate::BestOfKSpec;
 pub use metrics::{BatchMetrics, StationMetrics};
 pub use model::{CostModel, Decomposition};

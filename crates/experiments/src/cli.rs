@@ -1,4 +1,4 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! The `repro` command-line interface.
 //!
 //! ```text
 //! repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]
@@ -6,18 +6,23 @@
 //!
 //! Default grids are laptop-quick; `--full` switches to the paper's grids.
 //! With `--out DIR` each experiment also writes CSV series for plotting.
+//!
+//! The actual binary lives in the workspace root package (`src/bin/repro.rs`)
+//! so that a plain `cargo run --bin repro` works from the repository root;
+//! this module holds all of its logic so it stays unit-testable here.
 
-use contention_experiments::figures::{registry, Report};
-use contention_experiments::options::Options;
+use crate::figures::{registry, Report};
+use crate::options::Options;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Entry point: parses `args` (without the program name) and runs the
+/// selected experiments.
+pub fn run(args: &[String]) -> ExitCode {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         print_usage();
         return ExitCode::SUCCESS;
     }
-    let (sub, opts) = match Options::parse(&args) {
+    let (sub, opts) = match Options::parse(args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
     };
     if sub == "list" {
         for (name, desc, _) in registry() {
-            println!("{name:<8} {desc}");
+            println!("{name:<12} {desc}");
         }
         return ExitCode::SUCCESS;
     }
@@ -58,6 +63,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Entry point over the process arguments.
+pub fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args)
+}
+
 fn print_usage() {
     println!("usage: repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]");
     println!();
@@ -68,6 +79,32 @@ fn print_usage() {
     println!();
     println!("experiments:");
     for (name, desc, _) in registry() {
-        println!("  {name:<8} {desc}");
+        println!("  {name:<12} {desc}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_experiment_fails() {
+        assert_eq!(run(&strs(&["no-such-figure"])), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn bad_flag_fails() {
+        assert_eq!(run(&strs(&["fig3", "--bogus"])), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn list_and_help_succeed() {
+        assert_eq!(run(&strs(&["list"])), ExitCode::SUCCESS);
+        assert_eq!(run(&strs(&["--help"])), ExitCode::SUCCESS);
+        assert_eq!(run(&[]), ExitCode::SUCCESS);
     }
 }

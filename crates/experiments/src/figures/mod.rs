@@ -12,6 +12,7 @@ pub mod decomposition;
 pub mod dynamic_traffic;
 pub mod min_packet;
 pub mod model_check;
+pub mod noisy;
 pub mod payload_regression;
 pub mod rts_cts;
 pub mod shared;
@@ -254,6 +255,11 @@ pub fn registry() -> Vec<Entry> {
             "dynamic",
             "§VIII extension — long-lived bursty traffic",
             dynamic_traffic::run,
+        ),
+        (
+            "soften",
+            "arXiv:2408.11275 extension — softened collisions / noisy channel",
+            noisy::run,
         ),
     ]
 }

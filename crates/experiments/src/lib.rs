@@ -17,8 +17,11 @@
 //! * [`table`] — plain-text table rendering for the terminal.
 //! * [`csvout`] — CSV emission for plotting.
 //! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids).
+//! * [`cli`] — the `repro` entry point; the binary itself lives in the
+//!   workspace root package so `cargo run --bin repro` needs no `-p` flag.
 
 pub mod aggregate;
+pub mod cli;
 pub mod csvout;
 pub mod figures;
 pub mod options;

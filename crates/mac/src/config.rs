@@ -1,6 +1,7 @@
 //! Configuration of one MAC-level experiment.
 
 use contention_core::algorithm::AlgorithmKind;
+use contention_core::channel::ChannelModel;
 use contention_core::estimate::BestOfKSpec;
 use contention_core::params::Phy80211g;
 use contention_core::schedule::Truncation;
@@ -26,6 +27,20 @@ pub struct MacConfig {
     /// Probability an otherwise-clean data frame loses its ACK to "wireless
     /// effects" (failure injection; 0 in the paper's ideal setup).
     pub ack_loss_prob: f64,
+    /// The channel model applied to data frames (arXiv:2408.11275
+    /// softening). A clean data frame occupies its own airtime and takes
+    /// one noise draw, like a singleton slot. A collision is resolved once
+    /// per busy period with `ChannelModel::sample_slot`'s three-draw shape:
+    /// noise, recovery at multiplicity `k`, uniform winner among the
+    /// colliding data frames. [`ChannelModel::ideal`] (the default)
+    /// reproduces the paper's channel exactly, consuming no randomness.
+    /// Continuous-time caveats (where the MAC necessarily deviates from the
+    /// slotted abstraction): `k` is the frame-overlap count of the first
+    /// corrupted data frame to end, so a chained busy period mixing
+    /// multiplicities resolves at the first frame's `k`; a winner index
+    /// landing on a non-data overlapper (RTS/probe) wastes the capture; and
+    /// RTS frames are not softened — a corrupted RTS stays lost.
+    pub channel: ChannelModel,
     /// Safety valve: abort the trial at this simulated instant. Runs that
     /// trip it return `successes < n`.
     pub max_sim_time: Nanos,
@@ -43,8 +58,21 @@ impl MacConfig {
             rts_cts: false,
             use_eifs: true,
             ack_loss_prob: 0.0,
+            channel: ChannelModel::ideal(),
             max_sim_time: Nanos::from_millis(60_000),
             capture_trace: false,
+        }
+    }
+
+    /// The paper's setup over a softened/noisy channel.
+    pub fn with_channel(
+        algorithm: AlgorithmKind,
+        payload_bytes: u32,
+        channel: ChannelModel,
+    ) -> MacConfig {
+        MacConfig {
+            channel,
+            ..MacConfig::paper(algorithm, payload_bytes)
         }
     }
 
@@ -75,8 +103,18 @@ mod tests {
         assert_eq!(c.payload_bytes, 64);
         assert!(!c.rts_cts);
         assert_eq!(c.ack_loss_prob, 0.0);
+        assert!(c.channel.is_ideal());
         assert_eq!(c.truncation(), Truncation::paper());
         assert!(c.best_of_k().is_none());
+    }
+
+    #[test]
+    fn with_channel_overrides_only_the_channel() {
+        let soft = ChannelModel::softened(0.5);
+        let c = MacConfig::with_channel(AlgorithmKind::Beb, 64, soft);
+        assert_eq!(c.channel, soft);
+        assert_eq!(c.payload_bytes, 64);
+        assert!(!c.channel.is_ideal());
     }
 
     #[test]

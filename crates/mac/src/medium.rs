@@ -56,6 +56,10 @@ pub struct ActiveTx {
     pub start: Nanos,
     pub end: Nanos,
     pub corrupted: bool,
+    /// Number of other frames that temporally overlapped this one at any
+    /// point — `overlaps + 1` is the collision multiplicity `k` a softened
+    /// [`contention_core::channel::ChannelModel`] prices recovery by.
+    pub overlaps: u32,
 }
 
 /// Outcome summary of a finished busy period.
@@ -110,10 +114,12 @@ impl Medium {
         if !was_idle {
             for other in &mut self.active {
                 other.corrupted = true;
+                other.overlaps += 1;
             }
         }
         let mut tx = tx;
         tx.corrupted = !was_idle;
+        tx.overlaps = self.active.len() as u32;
         self.period_frames += 1;
         self.active.push(tx);
         was_idle
@@ -183,6 +189,7 @@ mod tests {
             start: Nanos::from_micros(start),
             end: Nanos::from_micros(end),
             corrupted: false,
+            overlaps: 0,
         }
     }
 
@@ -253,6 +260,7 @@ mod tests {
             start: Nanos::ZERO,
             end: Nanos::from_micros(5),
             corrupted: false,
+            overlaps: 0,
         });
         let (_, p) = m.end_tx(1, Nanos::from_micros(5));
         assert_eq!(p.unwrap().corrupted_contenders, 0);
@@ -264,10 +272,29 @@ mod tests {
         m.start_tx(tx(1, 0, TxKind::Data, 0, 10));
         m.start_tx(tx(2, 1, TxKind::Data, 0, 10));
         m.start_tx(tx(3, 2, TxKind::Data, 0, 10));
-        m.end_tx(1, Nanos::from_micros(10));
-        m.end_tx(2, Nanos::from_micros(10));
-        let (_, p) = m.end_tx(3, Nanos::from_micros(10));
+        let (t1, _) = m.end_tx(1, Nanos::from_micros(10));
+        let (t2, _) = m.end_tx(2, Nanos::from_micros(10));
+        let (t3, p) = m.end_tx(3, Nanos::from_micros(10));
         assert_eq!(p.unwrap().corrupted_contenders, 3);
+        // Every frame overlapped the other two: multiplicity k = 3 for all.
+        for t in [t1, t2, t3] {
+            assert_eq!(t.overlaps, 2);
+        }
+    }
+
+    #[test]
+    fn overlap_counts_follow_the_chain_not_the_instant() {
+        // Three frames in a chain: 1 overlaps 2, 2 overlaps both, 3 only 2.
+        let mut m = Medium::new();
+        m.start_tx(tx(1, 0, TxKind::Data, 0, 10));
+        m.start_tx(tx(2, 1, TxKind::Data, 8, 20));
+        let (t1, _) = m.end_tx(1, Nanos::from_micros(10));
+        m.start_tx(tx(3, 2, TxKind::Data, 12, 25));
+        let (t2, _) = m.end_tx(2, Nanos::from_micros(20));
+        let (t3, _) = m.end_tx(3, Nanos::from_micros(25));
+        assert_eq!(t1.overlaps, 1);
+        assert_eq!(t2.overlaps, 2);
+        assert_eq!(t3.overlaps, 1);
     }
 
     #[test]
@@ -316,6 +343,7 @@ mod proptests {
                     start: Nanos::ZERO,
                     end: Nanos::from_micros(10),
                     corrupted: false,
+                    overlaps: 0,
                 });
             }
             let mut last_period = None;
@@ -353,6 +381,7 @@ mod proptests {
                     start,
                     end,
                     corrupted: false,
+                    overlaps: 0,
                 });
                 prop_assert!(became_busy);
                 let (tx, period) = m.end_tx(i as u64, end);

@@ -20,6 +20,11 @@
 //!   its (grown) window and transmits when the countdown hits zero, with no
 //!   alignment. This is the ablation separating *window semantics* from
 //!   *collision cost* when comparing against the MAC simulator.
+//! * [`noisy::NoisySim`] — windowed semantics with assumption A1 replaced by
+//!   a [`contention_core::channel::ChannelModel`]: collisions of `k` senders
+//!   are recovered with probability `p_recover(k)` and slots can be erased
+//!   by noise (arXiv:2408.11275). With the ideal channel it replays
+//!   `WindowedSim` bit for bit.
 //!
 //! Both report [`contention_core::metrics::BatchMetrics`]; `total_time` is
 //! defined as `cw_slots × slot` — the total time the abstract model *thinks*
@@ -27,9 +32,11 @@
 //! misleading.
 
 pub mod dynamic;
+pub mod noisy;
 pub mod residual;
 pub mod windowed;
 
 pub use dynamic::{ArrivalProcess, DynamicConfig, DynamicMetrics, DynamicSim};
+pub use noisy::{NoisyConfig, NoisySim};
 pub use residual::ResidualSim;
 pub use windowed::WindowedSim;

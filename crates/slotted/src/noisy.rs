@@ -1,0 +1,439 @@
+//! Aligned-window execution over a noisy channel with softened collisions.
+//!
+//! Same window semantics as [`crate::windowed::WindowedSim`] (all stations
+//! arrive at slot 0, windows are globally aligned, a failed station waits out
+//! the window), but assumption A1 is replaced by a
+//! [`ChannelModel`]: a slot carrying `k ≥ 2` transmissions still delivers one
+//! of them with probability `p_recover(k)`, and any slot can be erased by
+//! noise — the regime of *Softening the Impact of Collisions in Contention
+//! Resolution* (arXiv:2408.11275).
+//!
+//! RNG discipline: each window first draws every alive station's slot (in
+//! alive order), then resolves occupied slots in ascending slot order
+//! through [`ChannelModel::sample_slot`]. Because the ideal channel samples
+//! without consuming randomness, the `p = 0` / zero-noise configuration *is*
+//! assumption A1 with the identical RNG stream — which is why
+//! [`crate::windowed::WindowedSim`] is implemented as a delegation to this
+//! loop over [`ChannelModel::ideal`], and why the workspace's
+//! degenerate-equality regression tests can demand bit-identity.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::channel::{ChannelModel, SlotFate};
+use contention_core::metrics::{BatchMetrics, StationMetrics};
+use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
+use contention_core::time::Nanos;
+use contention_sim::engine::Simulator;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration for one noisy-channel windowed run.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyConfig {
+    /// Which backoff algorithm every station runs.
+    pub algorithm: AlgorithmKind,
+    /// Window clamping; unbounded by default to mirror the abstract model.
+    pub truncation: Truncation,
+    /// Slot duration used only to express `total_time = cw_slots × slot`.
+    pub slot: Nanos,
+    /// The channel: collision softening + per-slot noise.
+    pub channel: ChannelModel,
+    /// Safety valve: abort after this many windows (0 = no limit). Unlike
+    /// the fatal-collision model, a noisy channel with `noise = 1` would
+    /// never finish, so long-running noisy sweeps should set this.
+    pub max_windows: u32,
+}
+
+impl NoisyConfig {
+    /// Abstract-model geometry (unbounded windows, 9 µs slots) over an
+    /// arbitrary channel.
+    pub fn abstract_model(algorithm: AlgorithmKind, channel: ChannelModel) -> NoisyConfig {
+        NoisyConfig {
+            algorithm,
+            truncation: Truncation::unbounded(),
+            slot: Nanos::from_micros(9),
+            channel,
+            max_windows: 0,
+        }
+    }
+
+    /// The degenerate configuration: ideal channel, i.e. exactly
+    /// [`crate::windowed::WindowedConfig::abstract_model`] semantics.
+    pub fn fatal(algorithm: AlgorithmKind) -> NoisyConfig {
+        NoisyConfig::abstract_model(algorithm, ChannelModel::ideal())
+    }
+}
+
+/// The noisy-channel aligned-window simulator.
+///
+/// Two window-resolution paths share one loop: ideal channels (which sample
+/// without randomness) classify slots with O(alive) occupancy counters —
+/// the hot path every paper figure runs — while non-ideal channels group
+/// same-slot draws by sorting and resolve each group through
+/// [`ChannelModel::sample_slot`]. Both paths are outcome-identical for an
+/// ideal channel (a unit test forces the sampled path and checks
+/// bit-equality), so which one runs is purely a performance choice.
+pub struct NoisySim {
+    config: NoisyConfig,
+    schedule: Schedule,
+    /// Occupancy counter per slot of the current window (ideal path; reused
+    /// across windows, only touched slots are reset).
+    occupancy: Vec<u32>,
+    /// Marks collision slots already counted this window (ideal path).
+    counted: Vec<bool>,
+}
+
+impl NoisySim {
+    /// Builds a simulator; panics for algorithms without a static window
+    /// schedule (BEST-OF-k belongs to the MAC simulator).
+    pub fn new(config: NoisyConfig) -> NoisySim {
+        let schedule = config
+            .algorithm
+            .schedule(config.truncation)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} has no static window schedule; use the MAC simulator",
+                    config.algorithm
+                )
+            });
+        NoisySim {
+            config,
+            schedule,
+            occupancy: Vec::new(),
+            counted: Vec::new(),
+        }
+    }
+
+    /// Runs one single-batch trial of `n` stations.
+    pub fn run<R: Rng>(&mut self, n: u32, rng: &mut R) -> BatchMetrics {
+        self.run_inner(n, rng, false)
+    }
+
+    fn run_inner<R: Rng>(&mut self, n: u32, rng: &mut R, force_sampled: bool) -> BatchMetrics {
+        self.schedule.reset();
+        let mut metrics = BatchMetrics {
+            n,
+            stations: vec![StationMetrics::default(); n as usize],
+            ..BatchMetrics::default()
+        };
+        if n == 0 {
+            return metrics;
+        }
+
+        let fast_path = self.config.channel.is_ideal() && !force_sampled;
+        let half_target = n.div_ceil(2);
+        let mut alive: Vec<u32> = (0..n).collect();
+        let mut done = vec![false; n as usize];
+        // Draws of the current window: (station, slot), in alive order.
+        let mut draws: Vec<(u32, usize)> = Vec::with_capacity(n as usize);
+        // Successes of the current window in ascending slot order:
+        // (slot, station).
+        let mut window_successes: Vec<(usize, u32)> = Vec::new();
+        // Sampled path: indices into `draws`, sorted by (slot, draw order).
+        let mut order: Vec<u32> = Vec::with_capacity(n as usize);
+        let mut slots_before_window: u64 = 0;
+        let mut windows_run: u32 = 0;
+
+        while !alive.is_empty() {
+            if self.config.max_windows != 0 && windows_run >= self.config.max_windows {
+                break;
+            }
+            windows_run += 1;
+            let width = self.schedule.next_window() as usize;
+            if fast_path && self.occupancy.len() < width {
+                self.occupancy.resize(width, 0);
+                self.counted.resize(width, false);
+            }
+
+            draws.clear();
+            for &station in &alive {
+                let slot = rng.gen_range(0..width);
+                draws.push((station, slot));
+                if fast_path {
+                    self.occupancy[slot] += 1;
+                }
+                let s = &mut metrics.stations[station as usize];
+                s.attempts += 1;
+                s.backoff_slots += slot as u64;
+            }
+
+            window_successes.clear();
+            if fast_path {
+                // A1 classification with occupancy counters: the ideal
+                // channel draws nothing, so no per-slot sampling is needed.
+                for &(station, slot) in &draws {
+                    if self.occupancy[slot] == 1 {
+                        window_successes.push((slot, station));
+                    } else {
+                        // A1 failure; under A2 the station learns it in-slot
+                        // at zero extra cost — the assumption under test.
+                        metrics.stations[station as usize].ack_timeouts += 1;
+                        if !self.counted[slot] {
+                            self.counted[slot] = true;
+                            metrics.collisions += 1;
+                        }
+                        metrics.colliding_stations += 1;
+                    }
+                }
+                window_successes.sort_unstable();
+                // Reset only the touched slots (windows can be huge; zeroing
+                // the whole buffer every window would dominate the run time).
+                for &(_, slot) in &draws {
+                    self.occupancy[slot] = 0;
+                    self.counted[slot] = false;
+                }
+            } else {
+                // Group same-slot draws (ascending slot; draw order within a
+                // slot) and resolve each group through the channel.
+                order.clear();
+                order.extend(0..draws.len() as u32);
+                order.sort_unstable_by_key(|&i| (draws[i as usize].1, i));
+                let mut group_start = 0usize;
+                while group_start < order.len() {
+                    let slot = draws[order[group_start] as usize].1;
+                    let mut group_end = group_start + 1;
+                    while group_end < order.len() && draws[order[group_end] as usize].1 == slot {
+                        group_end += 1;
+                    }
+                    let k = (group_end - group_start) as u32;
+                    let fate = self.config.channel.sample_slot(k, rng);
+                    if k >= 2 {
+                        metrics.collisions += 1;
+                        metrics.colliding_stations += k as u64;
+                    }
+                    for (j, &draw_idx) in order[group_start..group_end].iter().enumerate() {
+                        let station = draws[draw_idx as usize].0;
+                        if matches!(fate, SlotFate::Delivered { winner } if winner as usize == j) {
+                            window_successes.push((slot, station));
+                        } else {
+                            // Collision loss or noise erasure; the station
+                            // learns it in-slot (A2) and waits out the window.
+                            metrics.stations[station as usize].ack_timeouts += 1;
+                        }
+                    }
+                    group_start = group_end;
+                }
+            }
+
+            for &(slot, station) in &window_successes {
+                done[station as usize] = true;
+                metrics.successes += 1;
+                let at_slot = slots_before_window + slot as u64 + 1;
+                metrics.stations[station as usize].success_time = Some(self.config.slot * at_slot);
+                if metrics.successes == half_target {
+                    metrics.half_cw_slots = at_slot;
+                }
+                if metrics.successes == n {
+                    metrics.cw_slots = at_slot;
+                }
+            }
+
+            if window_successes.len() == alive.len() {
+                alive.clear();
+            } else if !window_successes.is_empty() {
+                alive.retain(|&st| !done[st as usize]);
+            }
+            slots_before_window += width as u64;
+        }
+
+        metrics.total_time = self.config.slot * metrics.cw_slots;
+        metrics.half_time = self.config.slot * metrics.half_cw_slots;
+        metrics
+    }
+}
+
+/// Plugs the noisy-channel semantics into the generic sweep engine.
+impl Simulator for NoisySim {
+    type Config = NoisyConfig;
+    type Output = BatchMetrics;
+    const NAME: &'static str = "noisy";
+
+    fn algorithm(config: &NoisyConfig) -> AlgorithmKind {
+        config.algorithm
+    }
+
+    fn with_algorithm(config: &NoisyConfig, algorithm: AlgorithmKind) -> NoisyConfig {
+        NoisyConfig {
+            algorithm,
+            ..*config
+        }
+    }
+
+    fn run(config: &NoisyConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+        NoisySim::new(*config).run(n, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowed::{WindowedConfig, WindowedSim};
+    use contention_core::channel::Recovery;
+    use contention_core::rng::{experiment_tag, trial_rng};
+
+    fn run_once(config: NoisyConfig, n: u32, trial: u32) -> BatchMetrics {
+        let mut sim = NoisySim::new(config);
+        let mut rng = trial_rng(experiment_tag("noisy-test"), config.algorithm, n, trial);
+        sim.run(n, &mut rng)
+    }
+
+    #[test]
+    fn all_packets_finish_with_softening() {
+        for kind in AlgorithmKind::PAPER_SET {
+            let m = run_once(
+                NoisyConfig::abstract_model(kind, ChannelModel::softened(0.5)),
+                100,
+                0,
+            );
+            assert_eq!(m.successes, 100, "{kind}");
+            assert!(m.stations.iter().all(|s| s.success_time.is_some()));
+            assert!(m.attempts_balance(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn degenerate_channel_replays_windowed_sim_exactly() {
+        // The acceptance-criterion regression in miniature: ideal channel ⇒
+        // the full BatchMetrics (not just the summary) match WindowedSim
+        // draw for draw.
+        for kind in AlgorithmKind::PAPER_SET {
+            for trial in 0..3 {
+                let n = 80;
+                let noisy = run_once(NoisyConfig::fatal(kind), n, trial);
+                let mut sim = WindowedSim::new(WindowedConfig::abstract_model(kind));
+                let mut rng = trial_rng(experiment_tag("noisy-test"), kind, n, trial);
+                let windowed = sim.run(n, &mut rng);
+                assert_eq!(noisy, windowed, "{kind} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_path_matches_fast_path_bit_for_bit() {
+        // The ideal channel draws nothing in either path, so forcing the
+        // sampled (grouping) path must reproduce the occupancy fast path
+        // exactly — same outcomes from the same RNG stream. This is what
+        // makes the fast/sampled split purely a performance choice.
+        for kind in AlgorithmKind::PAPER_SET {
+            for trial in 0..3 {
+                let n = 90;
+                let config = NoisyConfig::fatal(kind);
+                let mut rng = trial_rng(experiment_tag("noisy-paths"), kind, n, trial);
+                let fast = NoisySim::new(config).run_inner(n, &mut rng, false);
+                let mut rng = trial_rng(experiment_tag("noisy-paths"), kind, n, trial);
+                let sampled = NoisySim::new(config).run_inner(n, &mut rng, true);
+                assert_eq!(fast, sampled, "{kind} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn certain_recovery_finishes_faster_than_fatal() {
+        // With p = 1 every collision still delivers a packet, so the batch
+        // drains at least as fast as under fatal collisions, usually faster.
+        let med = |channel: ChannelModel| -> u64 {
+            let mut xs: Vec<u64> = (0..9)
+                .map(|t| {
+                    run_once(
+                        NoisyConfig::abstract_model(AlgorithmKind::Beb, channel),
+                        400,
+                        t,
+                    )
+                    .cw_slots
+                })
+                .collect();
+            xs.sort_unstable();
+            xs[4]
+        };
+        let fatal = med(ChannelModel::ideal());
+        let soft = med(ChannelModel::softened(1.0));
+        assert!(soft < fatal, "softened {soft} should beat fatal {fatal}");
+    }
+
+    #[test]
+    fn noise_slows_the_batch_down() {
+        let med = |channel: ChannelModel| -> u64 {
+            let mut xs: Vec<u64> = (0..9)
+                .map(|t| {
+                    run_once(
+                        NoisyConfig::abstract_model(AlgorithmKind::Beb, channel),
+                        200,
+                        t,
+                    )
+                    .cw_slots
+                })
+                .collect();
+            xs.sort_unstable();
+            xs[4]
+        };
+        assert!(med(ChannelModel::noisy(0.4)) > med(ChannelModel::ideal()));
+    }
+
+    #[test]
+    fn recovered_collisions_still_count_as_collisions() {
+        let m = run_once(
+            NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::softened(1.0)),
+            50,
+            1,
+        );
+        assert!(m.collisions > 0);
+        // Every disjoint collision involves ≥ 2 participants…
+        assert!(m.colliding_stations >= 2 * m.collisions);
+        // …and with p = 1 exactly one participant per collision is rescued,
+        // so failures = participants − collisions (no noise in this config).
+        assert_eq!(m.total_ack_timeouts(), m.colliding_stations - m.collisions);
+    }
+
+    #[test]
+    fn noise_failures_are_not_collisions() {
+        // A lone station on a noisy channel fails repeatedly without a
+        // single collision being recorded.
+        let m = run_once(
+            NoisyConfig::abstract_model(
+                AlgorithmKind::Fixed { window: 4 },
+                ChannelModel::noisy(0.7),
+            ),
+            1,
+            0,
+        );
+        assert_eq!(m.successes, 1);
+        assert_eq!(m.collisions, 0);
+        assert_eq!(m.colliding_stations, 0);
+        assert_eq!(m.total_ack_timeouts(), m.stations[0].ack_timeouts as u64);
+    }
+
+    #[test]
+    fn max_windows_valve_truncates() {
+        let mut config = NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::noisy(1.0));
+        config.max_windows = 25;
+        let m = run_once(config, 10, 0);
+        // Full noise: nothing can ever succeed; the valve must stop the run.
+        assert_eq!(m.successes, 0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let config = NoisyConfig::abstract_model(
+            AlgorithmKind::Sawtooth,
+            ChannelModel {
+                recovery: Recovery::Geometric { base: 0.6 },
+                noise: 0.1,
+            },
+        );
+        let a = run_once(config, 120, 7);
+        let b = run_once(config, 120, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_stations_is_a_noop() {
+        let m = run_once(NoisyConfig::fatal(AlgorithmKind::Beb), 0, 0);
+        assert_eq!(m.successes, 0);
+        assert_eq!(m.cw_slots, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no static window schedule")]
+    fn best_of_k_is_rejected() {
+        let _ = NoisySim::new(NoisyConfig::fatal(AlgorithmKind::BestOfK { k: 3 }));
+    }
+}

@@ -6,10 +6,18 @@
 //! window resolves as one balls-into-bins round: stations pick slots
 //! uniformly; singleton slots succeed, multi-occupancy slots are disjoint
 //! collisions.
+//!
+//! Execution is shared with [`crate::noisy::NoisySim`]: `WindowedSim` *is*
+//! the noisy-channel simulator over [`ChannelModel::ideal`], which samples
+//! slot fates without consuming randomness. The paper-model semantics are
+//! therefore structurally identical to the softened model's `p = 0`
+//! degenerate case, not merely test-equivalent.
 
+use crate::noisy::{NoisyConfig, NoisySim};
 use contention_core::algorithm::AlgorithmKind;
-use contention_core::metrics::{BatchMetrics, StationMetrics};
-use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
+use contention_core::channel::ChannelModel;
+use contention_core::metrics::BatchMetrics;
+use contention_core::schedule::Truncation;
 use contention_core::time::Nanos;
 use contention_sim::engine::Simulator;
 use rand::rngs::SmallRng;
@@ -49,133 +57,38 @@ impl WindowedConfig {
             ..WindowedConfig::abstract_model(algorithm)
         }
     }
+
+    /// The same run expressed as a noisy-channel config over the ideal
+    /// channel — the execution engine `WindowedSim` delegates to.
+    pub fn as_noisy(&self) -> NoisyConfig {
+        NoisyConfig {
+            algorithm: self.algorithm,
+            truncation: self.truncation,
+            slot: self.slot,
+            channel: ChannelModel::ideal(),
+            max_windows: self.max_windows,
+        }
+    }
 }
 
-/// The aligned-window simulator.
+/// The aligned-window simulator: the shared windowed engine over the ideal
+/// (fatal-collision, noiseless) channel.
 pub struct WindowedSim {
-    config: WindowedConfig,
-    schedule: Schedule,
-    /// Occupancy counter per slot of the current window (reused across
-    /// windows; only touched slots are reset).
-    occupancy: Vec<u32>,
-    /// Marks collision slots already counted this window.
-    counted: Vec<bool>,
+    inner: NoisySim,
 }
 
 impl WindowedSim {
     /// Builds a simulator; panics for algorithms without a static window
     /// schedule (BEST-OF-k belongs to the MAC simulator).
     pub fn new(config: WindowedConfig) -> WindowedSim {
-        let schedule = config
-            .algorithm
-            .schedule(config.truncation)
-            .unwrap_or_else(|| {
-                panic!(
-                    "{} has no static window schedule; use the MAC simulator",
-                    config.algorithm
-                )
-            });
         WindowedSim {
-            config,
-            schedule,
-            occupancy: Vec::new(),
-            counted: Vec::new(),
+            inner: NoisySim::new(config.as_noisy()),
         }
     }
 
     /// Runs one single-batch trial of `n` stations.
     pub fn run<R: Rng>(&mut self, n: u32, rng: &mut R) -> BatchMetrics {
-        self.schedule.reset();
-        let mut metrics = BatchMetrics {
-            n,
-            stations: vec![StationMetrics::default(); n as usize],
-            ..BatchMetrics::default()
-        };
-        if n == 0 {
-            return metrics;
-        }
-
-        let half_target = n.div_ceil(2);
-        // Stations alive, identified by index into `metrics.stations`.
-        let mut alive: Vec<u32> = (0..n).collect();
-        let mut done = vec![false; n as usize];
-        // Draws of the current window: (station, slot).
-        let mut draws: Vec<(u32, usize)> = Vec::with_capacity(n as usize);
-        // Successes of the current window, ordered by slot for half-way
-        // bookkeeping: (slot, station).
-        let mut window_successes: Vec<(usize, u32)> = Vec::new();
-        let mut slots_before_window: u64 = 0;
-        let mut windows_run: u32 = 0;
-
-        while !alive.is_empty() {
-            if self.config.max_windows != 0 && windows_run >= self.config.max_windows {
-                break;
-            }
-            windows_run += 1;
-            let width = self.schedule.next_window() as usize;
-            if self.occupancy.len() < width {
-                self.occupancy.resize(width, 0);
-                self.counted.resize(width, false);
-            }
-
-            draws.clear();
-            for &station in &alive {
-                let slot = rng.gen_range(0..width);
-                draws.push((station, slot));
-                self.occupancy[slot] += 1;
-            }
-
-            window_successes.clear();
-            for &(station, slot) in &draws {
-                let s = &mut metrics.stations[station as usize];
-                s.attempts += 1;
-                s.backoff_slots += slot as u64;
-                if self.occupancy[slot] == 1 {
-                    window_successes.push((slot, station));
-                } else {
-                    // A1 failure; under A2 the station learns it in-slot at
-                    // zero extra cost, which is the assumption under test.
-                    s.ack_timeouts += 1;
-                    if !self.counted[slot] {
-                        self.counted[slot] = true;
-                        metrics.collisions += 1;
-                    }
-                    metrics.colliding_stations += 1;
-                }
-            }
-
-            window_successes.sort_unstable();
-            for &(slot, station) in &window_successes {
-                done[station as usize] = true;
-                metrics.successes += 1;
-                let at_slot = slots_before_window + slot as u64 + 1;
-                metrics.stations[station as usize].success_time = Some(self.config.slot * at_slot);
-                if metrics.successes == half_target {
-                    metrics.half_cw_slots = at_slot;
-                }
-                if metrics.successes == n {
-                    metrics.cw_slots = at_slot;
-                }
-            }
-
-            // Reset only the touched slots (windows can be huge; zeroing the
-            // whole buffer every window would dominate the run time).
-            for &(_, slot) in &draws {
-                self.occupancy[slot] = 0;
-                self.counted[slot] = false;
-            }
-
-            if window_successes.len() == alive.len() {
-                alive.clear();
-            } else if !window_successes.is_empty() {
-                alive.retain(|&st| !done[st as usize]);
-            }
-            slots_before_window += width as u64;
-        }
-
-        metrics.total_time = self.config.slot * metrics.cw_slots;
-        metrics.half_time = self.config.slot * metrics.half_cw_slots;
-        metrics
+        self.inner.run(n, rng)
     }
 }
 

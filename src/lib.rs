@@ -7,9 +7,9 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `contention-core` | backoff schedules, collision-cost model, asymptotic bounds, 802.11g parameters, BEST-OF-k spec, metrics |
+//! | [`core`] | `contention-core` | backoff schedules, collision-cost model, channel models (fatal / softened / noisy), asymptotic bounds, 802.11g parameters, BEST-OF-k spec, metrics |
 //! | [`sim`] | `contention-sim` | event queue, parallel trial runner, generic `Simulator`/`Sweep` engine |
-//! | [`slotted`] | `contention-slotted` | abstract A0–A2 simulator (windowed + residual) |
+//! | [`slotted`] | `contention-slotted` | abstract A0–A2 simulator (windowed + residual) plus the noisy-channel variant (`NoisySim`) |
 //! | [`mac`] | `contention-mac` | event-driven IEEE 802.11g DCF simulator |
 //! | [`stats`] | `contention-stats` | medians, outlier rule, CIs, OLS regression |
 //! | [`experiments`] | `contention-experiments` | per-figure experiment harness (`repro` binary) |
@@ -38,6 +38,7 @@ pub use contention_stats as stats;
 pub mod prelude {
     pub use contention_core::algorithm::AlgorithmKind;
     pub use contention_core::bounds;
+    pub use contention_core::channel::{ChannelModel, Recovery, SlotFate};
     pub use contention_core::estimate::BestOfKSpec;
     pub use contention_core::metrics::{BatchMetrics, StationMetrics};
     pub use contention_core::model::{CostModel, Decomposition};
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use contention_mac::{simulate, MacConfig, MacRun, MacSim, Trace};
     pub use contention_sim::engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
     pub use contention_sim::summary::{Metric, TrialSummary};
+    pub use contention_slotted::noisy::{NoisyConfig, NoisySim};
     pub use contention_slotted::residual::{ResidualConfig, ResidualSim};
     pub use contention_slotted::windowed::{WindowedConfig, WindowedSim};
     pub use contention_stats::regression::linear_fit;

@@ -91,6 +91,27 @@ fn residual_sweep_is_thread_count_invariant() {
     });
 }
 
+/// The noisy-channel (softened collisions) simulator through the generic
+/// engine. A non-trivial channel, so the recovery and noise draws themselves
+/// are exercised across thread counts.
+#[test]
+fn noisy_sweep_is_thread_count_invariant() {
+    assert_thread_count_invariant(|threads| Sweep::<NoisySim> {
+        experiment: "golden-noisy",
+        config: NoisyConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ChannelModel {
+                recovery: Recovery::Geometric { base: 0.6 },
+                noise: 0.15,
+            },
+        ),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![40, 120],
+        trials: 5,
+        threads: Some(threads),
+    });
+}
+
 /// The dynamic-traffic simulator has no `TrialSummary` conversion; check
 /// its raw output across thread counts instead.
 #[test]

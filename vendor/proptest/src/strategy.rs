@@ -85,6 +85,21 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategies!((A, B), (A, B, C), (A, B, C, D));
+
 macro_rules! impl_int_range_strategies {
     ($($ty:ty),*) => {$(
         impl Strategy for Range<$ty> {
@@ -117,5 +132,17 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty strategy range {:?}", self);
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range {lo}..={hi}");
+        // 53-bit fraction over [0, 1] *inclusive*, so both endpoints (e.g.
+        // probability 0 and 1) are reachable.
+        let t = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + t * (hi - lo)
     }
 }
