@@ -120,7 +120,7 @@ mod tests {
             algorithms: vec![AlgorithmKind::LogBackoff],
             ns: vec![15],
             trials: 3,
-            threads: Some(2),
+            exec: contention_sim::ExecPolicy::threads(2),
         }
         .run_raw();
         let lone = mac_trial("bench-vs-sweep", &config, 15, 2);

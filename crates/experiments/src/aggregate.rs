@@ -1,11 +1,21 @@
-//! The paper's reporting pipeline: outlier filter → median → 95 % CI.
+//! The paper's reporting pipeline: outlier filter → median → 95 % CI —
+//! fed by the sweep engine's streaming fold seam.
+//!
+//! [`MetricStats`] is the accumulator every figure plugs into
+//! [`Sweep::run_fold`](crate::sweep::Sweep::run_fold): it extracts *only the
+//! requested metrics* from each trial's summary into flat per-trial `f64`
+//! buffers (one [`StreamingSample`] per metric), so a cell retains
+//! `trials × requested-metrics × 8` bytes instead of `trials ×
+//! size_of::<TrialSummary>()`. The buffers are position-addressed by trial
+//! index, so the fold is bit-identical across thread counts and batch sizes.
 
 use crate::summary::{Metric, TrialSummary};
-use crate::sweep::SweepCell;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
+use contention_sim::engine::{Accumulator, FoldedCell};
 use contention_stats::ci::median_ci95;
 use contention_stats::outliers::without_outliers;
+use contention_stats::stream::StreamingSample;
 use contention_stats::summary::median;
 use serde::{Deserialize, Serialize};
 
@@ -46,11 +56,74 @@ impl Series {
     }
 }
 
-/// Aggregates one metric over the trials of one cell.
-pub fn aggregate_cell(cell: &SweepCell, metric: Metric) -> SeriesPoint {
-    let raw: Vec<f64> = cell.trials.iter().map(|t| metric.extract(t)).collect();
-    aggregate_values(cell.n as f64, &raw)
+/// Streams the requested metrics of one cell into flat per-trial buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricStats {
+    metrics: Vec<Metric>,
+    samples: Vec<StreamingSample>,
 }
+
+impl MetricStats {
+    /// A collector retaining `metrics` over `trials` trials.
+    pub fn new(metrics: &[Metric], trials: u32) -> MetricStats {
+        MetricStats {
+            metrics: metrics.to_vec(),
+            samples: metrics
+                .iter()
+                .map(|_| StreamingSample::new(trials as usize))
+                .collect(),
+        }
+    }
+
+    /// The `init` closure [`Sweep::run_fold`](crate::sweep::Sweep::run_fold)
+    /// wants: one collector per cell over the given metrics.
+    pub fn collector(
+        metrics: &[Metric],
+    ) -> impl FnMut(AlgorithmKind, u32, u32) -> MetricStats + '_ {
+        move |_alg, _n, trials| MetricStats::new(metrics, trials)
+    }
+
+    /// The per-trial values of one metric, in trial order. Panics if the
+    /// metric wasn't requested at construction.
+    pub fn sample(&self, metric: Metric) -> &[f64] {
+        let i = self
+            .metrics
+            .iter()
+            .position(|&m| m == metric)
+            .unwrap_or_else(|| panic!("metric {metric:?} was not collected"));
+        self.samples[i].values()
+    }
+
+    /// Outlier-filtered median + CI of one metric at a given x.
+    pub fn point(&self, x: f64, metric: Metric) -> SeriesPoint {
+        aggregate_values(x, self.sample(metric))
+    }
+
+    /// Median of one metric without the outlier filter — the ablations
+    /// report raw medians.
+    pub fn raw_median(&self, metric: Metric) -> f64 {
+        median(self.sample(metric))
+    }
+
+    /// Bytes retained by this cell's buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| s.len() * StreamingSample::BYTES_PER_TRIAL)
+            .sum()
+    }
+}
+
+impl Accumulator<TrialSummary> for MetricStats {
+    fn record(&mut self, trial: u32, value: TrialSummary) {
+        for (metric, sample) in self.metrics.iter().zip(&mut self.samples) {
+            sample.record(trial as usize, metric.extract(&value));
+        }
+    }
+}
+
+/// The folded cell type every figure consumes.
+pub type StatsCell = FoldedCell<MetricStats>;
 
 /// Aggregates raw per-trial values at a given x.
 pub fn aggregate_values(x: f64, raw: &[f64]) -> SeriesPoint {
@@ -71,7 +144,7 @@ pub fn aggregate_values(x: f64, raw: &[f64]) -> SeriesPoint {
 
 /// Builds one series per algorithm for a metric, over the sweep's n grid.
 pub fn series_per_algorithm(
-    cells: &[SweepCell],
+    cells: &[StatsCell],
     algorithms: &[AlgorithmKind],
     metric: Metric,
 ) -> Vec<Series> {
@@ -82,7 +155,7 @@ pub fn series_per_algorithm(
             points: cells
                 .iter()
                 .filter(|c| c.algorithm == alg)
-                .map(|c| aggregate_cell(c, metric))
+                .map(|c| c.acc.point(c.n as f64, metric))
                 .collect(),
         })
         .collect()
@@ -99,20 +172,12 @@ pub fn final_percent_vs_first(series: &[Series]) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Extracts raw metric values of one cell — for figures that need the full
-/// sample (e.g. the Fig 14 regression).
-pub fn raw_values(cell: &SweepCell, metric: Metric) -> Vec<f64> {
-    cell.trials.iter().map(|t| metric.extract(t)).collect()
-}
-
-/// Pairs up per-trial values of two cells (same trial index) and returns the
+/// Pairs up per-trial values of two samples (same trial index — the engine's
+/// position-addressed buffers guarantee alignment) and returns the
 /// differences `a − b`; the Fig 14 scatter.
-pub fn paired_differences(a: &[TrialSummary], b: &[TrialSummary], metric: Metric) -> Vec<f64> {
+pub fn paired_differences(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "paired cells need equal trial counts");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| metric.extract(x) - metric.extract(y))
-        .collect()
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
 #[cfg(test)]
@@ -137,11 +202,16 @@ mod tests {
         }
     }
 
-    fn cell_with(alg: AlgorithmKind, n: u32, values: &[f64]) -> SweepCell {
-        SweepCell {
+    fn cell_with(alg: AlgorithmKind, n: u32, values: &[f64]) -> StatsCell {
+        let mut acc =
+            MetricStats::new(&[Metric::CwSlots, Metric::TotalTimeUs], values.len() as u32);
+        for (t, &v) in values.iter().enumerate() {
+            acc.record(t as u32, summary(n, v));
+        }
+        StatsCell {
             algorithm: alg,
             n,
-            trials: values.iter().map(|&v| summary(n, v)).collect(),
+            acc,
         }
     }
 
@@ -150,7 +220,7 @@ mod tests {
         let mut vals: Vec<f64> = (0..29).map(|i| 100.0 + i as f64).collect();
         vals.push(1e6); // gross outlier
         let c = cell_with(Beb, 10, &vals);
-        let p = aggregate_cell(&c, Metric::CwSlots);
+        let p = c.acc.point(10.0, Metric::CwSlots);
         assert_eq!(p.dropped, 1);
         assert_eq!(p.kept, 29);
         assert!(p.ci_low <= p.median && p.median <= p.ci_high);
@@ -173,21 +243,32 @@ mod tests {
     }
 
     #[test]
+    fn stats_extract_only_requested_metrics() {
+        let c = cell_with(Beb, 5, &[10.0, 20.0]);
+        assert_eq!(c.acc.sample(Metric::CwSlots), &[10.0, 20.0]);
+        assert_eq!(c.acc.sample(Metric::TotalTimeUs), &[100.0, 200.0]);
+        assert_eq!(c.acc.raw_median(Metric::CwSlots), 15.0);
+        assert_eq!(c.acc.retained_bytes(), 2 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not collected")]
+    fn unrequested_metric_panics() {
+        let c = cell_with(Beb, 5, &[10.0]);
+        let _ = c.acc.sample(Metric::Collisions);
+    }
+
+    #[test]
     fn paired_differences_align_trials() {
-        let a = vec![summary(5, 10.0), summary(5, 20.0)];
-        let b = vec![summary(5, 4.0), summary(5, 25.0)];
-        let d = paired_differences(&a, &b, Metric::CwSlots);
-        assert_eq!(d, vec![6.0, -5.0]);
+        let a = [10.0, 20.0];
+        let b = [4.0, 25.0];
+        assert_eq!(paired_differences(&a, &b), vec![6.0, -5.0]);
     }
 
     #[test]
     #[should_panic(expected = "no trials")]
     fn empty_cell_panics() {
-        let c = SweepCell {
-            algorithm: Beb,
-            n: 1,
-            trials: vec![],
-        };
-        let _ = aggregate_cell(&c, Metric::CwSlots);
+        let c = MetricStats::new(&[Metric::CwSlots], 0);
+        let _ = c.point(1.0, Metric::CwSlots);
     }
 }

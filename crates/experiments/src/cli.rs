@@ -1,11 +1,14 @@
 //! The `repro` command-line interface.
 //!
 //! ```text
-//! repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]
+//! repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--json]
+//!       [--threads N] [--batch N]
 //! ```
 //!
-//! Default grids are laptop-quick; `--full` switches to the paper's grids.
-//! With `--out DIR` each experiment also writes CSV series for plotting.
+//! Default grids are laptop-quick; `--full` switches to the paper's grids
+//! (and turns on the stderr progress meter when stderr is a TTY). With
+//! `--out DIR` each experiment also writes CSV series for plotting;
+//! `--json` adds JSON artifacts next to them.
 //!
 //! The actual binary lives in the workspace root package (`src/bin/repro.rs`)
 //! so that a plain `cargo run --bin repro` works from the repository root;
@@ -56,7 +59,15 @@ pub fn run(args: &[String]) -> ExitCode {
         report.print();
         if let Some(dir) = &opts.out_dir {
             report.write_csv(dir);
-            println!("[{}] CSVs written to {}", name, dir.display());
+            if opts.json {
+                report.write_json(dir);
+            }
+            println!(
+                "[{}] {} written to {}",
+                name,
+                if opts.json { "CSVs + JSON" } else { "CSVs" },
+                dir.display()
+            );
         }
         println!("[{}] done in {:.1?}\n", name, started.elapsed());
     }
@@ -70,12 +81,19 @@ pub fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    println!("usage: repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--threads N]");
+    println!(
+        "usage: repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--json] \
+         [--threads N] [--batch N]"
+    );
     println!();
-    println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds)");
+    println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds);");
+    println!("              prints trials-completed progress + ETA to stderr when it is a TTY");
     println!("  --trials N  override the trial count");
     println!("  --out DIR   also write CSV series to DIR");
+    println!("  --json      also write JSON artifacts to DIR (needs --out)");
     println!("  --threads N worker threads (default: all cores)");
+    println!("  --batch N   trials claimed per scheduling step (default: auto; results");
+    println!("              are bit-identical for every batch size and thread count)");
     println!();
     println!("experiments:");
     for (name, desc, _) in registry() {

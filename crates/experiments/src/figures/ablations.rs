@@ -14,14 +14,15 @@
 //! * [`polynomial`] — the quadratic-backoff baseline from the related work
 //!   ([53]) dropped into the single-batch setting.
 //!
-//! Every ablation runs its trials through the generic sweep engine
-//! ([`single_sweep`]), varying only the config fields under study.
+//! Every ablation streams its trials through the generic sweep engine
+//! ([`single_stats`]), varying only the config fields under study and
+//! retaining only the metrics its table prints.
 
-use crate::aggregate::aggregate_cell;
-use crate::figures::shared::{paper_algorithms, raw_median, single_sweep};
+use crate::figures::shared::{paper_algorithms, single_stats};
 use crate::figures::Report;
 use crate::options::Options;
-use crate::summary::{Metric, TrialSummary};
+use crate::summary::Metric;
+use crate::sweep::ExecPolicy;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::params::Phy80211g;
@@ -32,23 +33,28 @@ use contention_mac::{MacConfig, MacSim};
 use contention_slotted::residual::ResidualConfig;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::{ResidualSim, WindowedSim};
-use contention_stats::summary::median;
 
 /// Medians of (total time µs, total ACK timeouts, successes) over one MAC
-/// cell run through the engine.
+/// cell streamed through the engine.
 fn mac_medians(
     experiment: &'static str,
     config: &MacConfig,
     n: u32,
     trials: u32,
-    threads: Option<usize>,
+    exec: ExecPolicy,
 ) -> (f64, f64, f64) {
-    let cell = single_sweep::<MacSim>(experiment, *config, n, trials, threads);
-    let successes: Vec<f64> = cell.trials.iter().map(|t| t.successes as f64).collect();
+    let stats = single_stats::<MacSim>(
+        experiment,
+        *config,
+        n,
+        trials,
+        exec,
+        &[Metric::TotalTimeUs, Metric::AckTimeouts, Metric::Successes],
+    );
     (
-        raw_median(&cell, Metric::TotalTimeUs),
-        raw_median(&cell, Metric::AckTimeouts),
-        median(&successes),
+        stats.raw_median(Metric::TotalTimeUs),
+        stats.raw_median(Metric::AckTimeouts),
+        stats.raw_median(Metric::Successes),
     )
 }
 
@@ -71,7 +77,7 @@ pub fn ack_timeout(opts: &Options) -> Report {
         config.phy.ack_timeout = Nanos::from_micros(timeout_us);
         config.max_sim_time = Nanos::from_millis(500);
         let (total, timeouts, successes) =
-            mac_medians("ablate-ackto", &config, n, trials, opts.threads);
+            mac_medians("ablate-ackto", &config, n, trials, opts.exec());
         rows.push(vec![
             format!("{timeout_us}"),
             format!("{successes:.0}/{n}"),
@@ -140,7 +146,7 @@ pub fn eifs(opts: &Options) -> Report {
                 &config,
                 n,
                 trials,
-                opts.threads,
+                opts.exec(),
             );
             cells[i] = total;
         }
@@ -192,11 +198,18 @@ pub fn truncation(opts: &Options) -> Report {
     ] {
         let mut config = WindowedConfig::abstract_model(AlgorithmKind::Beb);
         config.truncation = trunc;
-        let cell = single_sweep::<WindowedSim>("ablate-trunc", config, n, trials, opts.threads);
+        let stats = single_stats::<WindowedSim>(
+            "ablate-trunc",
+            config,
+            n,
+            trials,
+            opts.exec(),
+            &[Metric::CwSlots, Metric::Collisions],
+        );
         rows.push(vec![
             label.to_string(),
-            format!("{:.0}", raw_median(&cell, Metric::CwSlots)),
-            format!("{:.0}", raw_median(&cell, Metric::Collisions)),
+            format!("{:.0}", stats.raw_median(Metric::CwSlots)),
+            format!("{:.0}", stats.raw_median(Metric::Collisions)),
         ]);
     }
     report.line(render(
@@ -218,27 +231,30 @@ pub fn semantics(opts: &Options) -> Report {
     let mut report =
         Report::new("ablation — windowed vs residual-timer semantics (abstract model, n = 150)");
     let mut rows = Vec::new();
+    const SEM_METRICS: [Metric; 2] = [Metric::CwSlots, Metric::Collisions];
     for alg in paper_algorithms() {
-        let windowed = single_sweep::<WindowedSim>(
+        let windowed = single_stats::<WindowedSim>(
             "ablate-sem-w",
             WindowedConfig::truncated_model(alg),
             n,
             trials,
-            opts.threads,
+            opts.exec(),
+            &SEM_METRICS,
         );
-        let residual = single_sweep::<ResidualSim>(
+        let residual = single_stats::<ResidualSim>(
             "ablate-sem-r",
             ResidualConfig::paper(alg),
             n,
             trials,
-            opts.threads,
+            opts.exec(),
+            &SEM_METRICS,
         );
         rows.push(vec![
             alg.label(),
-            format!("{:.0}", raw_median(&windowed, Metric::CwSlots)),
-            format!("{:.0}", raw_median(&windowed, Metric::Collisions)),
-            format!("{:.0}", raw_median(&residual, Metric::CwSlots)),
-            format!("{:.0}", raw_median(&residual, Metric::Collisions)),
+            format!("{:.0}", windowed.raw_median(Metric::CwSlots)),
+            format!("{:.0}", windowed.raw_median(Metric::Collisions)),
+            format!("{:.0}", residual.raw_median(Metric::CwSlots)),
+            format!("{:.0}", residual.raw_median(Metric::Collisions)),
         ]);
     }
     report.line(render(
@@ -270,12 +286,23 @@ pub fn ack_loss(opts: &Options) -> Report {
         let mut config = MacConfig::paper(AlgorithmKind::Beb, 64);
         config.ack_loss_prob = loss_pct as f64 / 100.0;
         config.max_sim_time = Nanos::from_millis(5_000);
-        let cell = single_sweep::<MacSim>("ablate-loss", config, n, trials, opts.threads);
+        let stats = single_stats::<MacSim>(
+            "ablate-loss",
+            config,
+            n,
+            trials,
+            opts.exec(),
+            &[
+                Metric::TotalTimeUs,
+                Metric::AckTimeouts,
+                Metric::CollidingStations,
+            ],
+        );
         rows.push(vec![
             format!("{loss_pct}%"),
-            format!("{:.0}", raw_median(&cell, Metric::TotalTimeUs)),
-            format!("{:.0}", raw_median(&cell, Metric::AckTimeouts)),
-            format!("{:.0}", raw_median(&cell, Metric::CollidingStations)),
+            format!("{:.0}", stats.raw_median(Metric::TotalTimeUs)),
+            format!("{:.0}", stats.raw_median(Metric::AckTimeouts)),
+            format!("{:.0}", stats.raw_median(Metric::CollidingStations)),
         ]);
     }
     report.line(render(
@@ -310,15 +337,22 @@ pub fn polynomial(opts: &Options) -> Report {
     ];
     for alg in algorithms {
         let config = MacConfig::paper(alg, 64);
-        let cell = single_sweep::<MacSim>("ablate-poly", config, n, trials, opts.threads);
-        let t = raw_median(&cell, Metric::TotalTimeUs);
+        let stats = single_stats::<MacSim>(
+            "ablate-poly",
+            config,
+            n,
+            trials,
+            opts.exec(),
+            &[Metric::TotalTimeUs, Metric::CwSlots, Metric::Collisions],
+        );
+        let t = stats.raw_median(Metric::TotalTimeUs);
         if alg == AlgorithmKind::Beb {
             beb_total = t;
         }
         rows.push(vec![
             alg.label(),
-            format!("{:.0}", raw_median(&cell, Metric::CwSlots)),
-            format!("{:.0}", raw_median(&cell, Metric::Collisions)),
+            format!("{:.0}", stats.raw_median(Metric::CwSlots)),
+            format!("{:.0}", stats.raw_median(Metric::Collisions)),
             format!("{t:.0}"),
             format!("{:+.1}%", percent_change(t, beb_total)),
         ]);
@@ -339,19 +373,6 @@ pub fn polynomial(opts: &Options) -> Report {
          a non-bursty-traffic design, per the related work [53]).",
     );
     report
-}
-
-/// Aggregates one metric from pre-built summaries (exposed for tests).
-pub fn summarize(trials: &[TrialSummary], metric: Metric) -> f64 {
-    aggregate_cell(
-        &crate::sweep::SweepCell {
-            algorithm: AlgorithmKind::Beb,
-            n: 0,
-            trials: trials.to_vec(),
-        },
-        metric,
-    )
-    .median
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! Figures 5, 15 and 16 — the abstract (A0–A2 only) simulator.
 
-use crate::aggregate::{aggregate_cell, series_per_algorithm, Series, SeriesPoint};
+use crate::aggregate::{series_per_algorithm, MetricStats, Series, SeriesPoint, StatsCell};
 use crate::figures::shared::{paper_algorithms, report_from_series};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, Sweep, SweepCell};
+use crate::sweep::{folded, Sweep};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_slotted::windowed::WindowedConfig;
@@ -23,9 +23,9 @@ pub fn fig5(opts: &Options) -> Report {
         algorithms: paper_algorithms(),
         ns: opts.mac_ns(),
         trials: opts.trials_or(12, 50),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run();
+    .run_fold(MetricStats::collector(&[Metric::CwSlots]));
     let series = series_per_algorithm(&cells, &paper_algorithms(), Metric::CwSlots);
     report_from_series(
         "Figure 5 — CW slots vs n (abstract simulator, assumptions A0–A2 only)",
@@ -39,7 +39,7 @@ pub fn fig5(opts: &Options) -> Report {
 /// The large-n grid of §V-A. The paper runs n ≤ 10⁵ in increments of 400
 /// with 200 trials on a cluster; `--full` uses increments of 8 000 with a
 /// couple dozen trials, quick mode stays below n = 2·10⁴.
-fn large_n_sweep(opts: &Options) -> Vec<SweepCell> {
+fn large_n_sweep(opts: &Options) -> Vec<StatsCell> {
     let ns: Vec<u32> = if opts.full {
         (1..=12).map(|i| i * 8_000).collect()
     } else {
@@ -51,9 +51,12 @@ fn large_n_sweep(opts: &Options) -> Vec<SweepCell> {
         algorithms: paper_algorithms(),
         ns,
         trials: opts.trials_or(8, 24),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run()
+    .run_fold(MetricStats::collector(&[
+        Metric::CwSlots,
+        Metric::Collisions,
+    ]))
 }
 
 /// Figure 15: CW slots at large n — STB pulls ahead and LLB finally
@@ -100,13 +103,15 @@ pub fn fig16(opts: &Options) -> Report {
             points: ns
                 .iter()
                 .map(|&n| {
-                    let num = aggregate_cell(cell(&cells, alg, n), Metric::Collisions).median;
-                    let den = aggregate_cell(
-                        cell(&cells, AlgorithmKind::Sawtooth, n),
-                        Metric::Collisions,
-                    )
-                    .median
-                    .max(1.0);
+                    let num = folded(&cells, alg, n)
+                        .acc
+                        .point(n as f64, Metric::Collisions)
+                        .median;
+                    let den = folded(&cells, AlgorithmKind::Sawtooth, n)
+                        .acc
+                        .point(n as f64, Metric::Collisions)
+                        .median
+                        .max(1.0);
                     let ratio = num / den;
                     SeriesPoint {
                         x: n as f64,

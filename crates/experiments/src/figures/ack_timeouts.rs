@@ -37,7 +37,7 @@ pub fn fig12(opts: &Options) -> Report {
 mod tests {
     use super::*;
     use crate::aggregate::series_per_algorithm;
-    use crate::figures::shared::{mac_sweep, paper_algorithms};
+    use crate::figures::shared::{mac_stats, paper_algorithms};
 
     #[test]
     fn beb_has_fewest_max_ack_timeouts() {
@@ -46,7 +46,7 @@ mod tests {
             threads: Some(2),
             ..Options::default()
         };
-        let cells = mac_sweep(&opts, 64);
+        let cells = mac_stats(&opts, 64, &[Metric::MaxAckTimeouts]);
         let series = series_per_algorithm(&cells, &paper_algorithms(), Metric::MaxAckTimeouts);
         let beb = series[0].final_median();
         for s in &series[1..] {
@@ -66,11 +66,17 @@ mod tests {
             threads: Some(2),
             ..Options::default()
         };
-        let cells = mac_sweep(&opts, 64);
+        let cells = mac_stats(
+            &opts,
+            64,
+            &[Metric::MaxAckTimeouts, Metric::MaxAckTimeoutTimeUs],
+        );
         for c in &cells {
-            for t in &c.trials {
+            let counts = c.acc.sample(Metric::MaxAckTimeouts);
+            let times = c.acc.sample(Metric::MaxAckTimeoutTimeUs);
+            for (count, time) in counts.iter().zip(times) {
                 assert!(
-                    (t.max_ack_timeout_time_us - 75.0 * t.max_ack_timeouts).abs() < 1e-6,
+                    (time - 75.0 * count).abs() < 1e-6,
                     "timeout time must be 75 µs × count"
                 );
             }

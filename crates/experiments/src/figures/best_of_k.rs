@@ -1,10 +1,10 @@
 //! Figures 18 and 19 — the BEST-OF-k size-estimation approach (§VI).
 
-use crate::aggregate::{series_per_algorithm, Series, SeriesPoint};
+use crate::aggregate::{series_per_algorithm, MetricStats, Series, SeriesPoint, StatsCell};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{Sweep, SweepCell};
+use crate::sweep::Sweep;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
@@ -18,17 +18,21 @@ fn algorithms() -> Vec<AlgorithmKind> {
     ]
 }
 
-/// One shared sweep feeds both figures, mirroring the paper's 20-trial runs.
-fn sweep(opts: &Options) -> Vec<SweepCell> {
+/// One shared sweep stream feeds both figures, mirroring the paper's
+/// 20-trial runs.
+fn sweep(opts: &Options) -> Vec<StatsCell> {
     Sweep::<MacSim> {
         experiment: "fig18-19",
         config: MacConfig::paper(AlgorithmKind::Beb, 64),
         algorithms: algorithms(),
         ns: opts.mac_ns(),
         trials: opts.trials_or(6, 20),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run()
+    .run_fold(MetricStats::collector(&[
+        Metric::MedianEstimate,
+        Metric::TotalTimeUs,
+    ]))
 }
 
 /// Figure 18: the estimates of n. Best-of-3 is noisier than Best-of-5, and

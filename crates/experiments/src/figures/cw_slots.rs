@@ -2,7 +2,7 @@
 
 use crate::aggregate::series_per_algorithm;
 use crate::figures::shared::{
-    mac_sweep, paper_algorithms, report_from_series, standard_mac_figure,
+    mac_stats, paper_algorithms, report_from_series, standard_mac_figure,
 };
 use crate::figures::Report;
 use crate::options::Options;
@@ -40,7 +40,7 @@ pub fn fig4(opts: &Options) -> Report {
 /// first half (stragglers hurt BEB most). We print the half-completion table
 /// plus the half/full ratio that supports observation (1).
 pub fn fig6(opts: &Options) -> Report {
-    let cells = mac_sweep(opts, 64);
+    let cells = mac_stats(opts, 64, &[Metric::HalfCwSlots, Metric::CwSlots]);
     let half = series_per_algorithm(&cells, &paper_algorithms(), Metric::HalfCwSlots);
     let full = series_per_algorithm(&cells, &paper_algorithms(), Metric::CwSlots);
     let mut report = report_from_series(

@@ -6,7 +6,7 @@
 //! dominating ACK timeouts by an order of magnitude. We measure the same
 //! three components directly.
 
-use crate::aggregate::aggregate_cell;
+use crate::aggregate::MetricStats;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
@@ -26,14 +26,20 @@ pub fn run(opts: &Options) -> Report {
         algorithms: vec![AlgorithmKind::Beb],
         ns: vec![n],
         trials: opts.trials_or(8, 30),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run();
-    let cell = &cells[0];
-    let collisions = aggregate_cell(cell, Metric::Collisions).median;
-    let cw_slots = aggregate_cell(cell, Metric::CwSlots).median;
-    let max_to_time = aggregate_cell(cell, Metric::MaxAckTimeoutTimeUs).median;
-    let total = aggregate_cell(cell, Metric::TotalTimeUs).median;
+    .run_fold(MetricStats::collector(&[
+        Metric::Collisions,
+        Metric::CwSlots,
+        Metric::MaxAckTimeoutTimeUs,
+        Metric::TotalTimeUs,
+    ]));
+    let cell = &cells[0].acc;
+    let x = n as f64;
+    let collisions = cell.point(x, Metric::Collisions).median;
+    let cw_slots = cell.point(x, Metric::CwSlots).median;
+    let max_to_time = cell.point(x, Metric::MaxAckTimeoutTimeUs).median;
+    let total = cell.point(x, Metric::TotalTimeUs).median;
 
     let phy = Phy80211g::paper_defaults();
     let measured = Decomposition::from_measurements(

@@ -29,7 +29,7 @@ fn median_latency(
     experiment: &'static str,
     config: DynamicConfig,
     trials: u32,
-    threads: Option<usize>,
+    exec: crate::sweep::ExecPolicy,
 ) -> (f64, f64) {
     let cells = Sweep::<DynamicSim> {
         experiment,
@@ -37,7 +37,7 @@ fn median_latency(
         algorithms: vec![config.algorithm],
         ns: vec![0],
         trials,
-        threads,
+        exec,
     }
     .run_raw();
     let mean: Vec<f64> = cells[0].trials.iter().map(|m| m.mean_latency).collect();
@@ -68,8 +68,8 @@ pub fn run(opts: &Options) -> Report {
     for alg in paper_algorithms() {
         let unit = DynamicConfig::abstract_model(alg, arrivals);
         let mac = DynamicConfig::mac_costs(alg, arrivals, 64);
-        let (lat_unit, done_unit) = median_latency("dyn-unit", unit, trials, opts.threads);
-        let (lat_mac, done_mac) = median_latency("dyn-mac", mac, trials, opts.threads);
+        let (lat_unit, done_unit) = median_latency("dyn-unit", unit, trials, opts.exec());
+        let (lat_mac, done_mac) = median_latency("dyn-mac", mac, trials, opts.exec());
         if alg == AlgorithmKind::Beb {
             beb = [lat_unit, lat_mac];
         }

@@ -15,14 +15,15 @@ pub mod model_check;
 pub mod noisy;
 pub mod payload_regression;
 pub mod rts_cts;
+pub mod scale;
 pub mod shared;
 pub mod tables;
 pub mod total_time;
 pub mod trace_fig13;
 
 use crate::aggregate::Series;
-use crate::csvout;
 use crate::options::Options;
+use crate::{csvout, jsonout};
 use std::path::Path;
 
 /// A CSV artifact a figure wants written alongside its text output.
@@ -98,6 +99,24 @@ impl Report {
                 }
                 CsvBlock::Rows { name, rows } => {
                     csvout::write_rows(dir, name, rows);
+                }
+            }
+        }
+    }
+
+    /// Writes the same artifacts as JSON into `dir` (`repro --json`).
+    pub fn write_json(&self, dir: &Path) {
+        for block in &self.csv {
+            match block {
+                CsvBlock::Series {
+                    name,
+                    x_label,
+                    series,
+                } => {
+                    jsonout::write_series(dir, name, x_label, series);
+                }
+                CsvBlock::Rows { name, rows } => {
+                    jsonout::write_rows(dir, name, rows);
                 }
             }
         }
@@ -260,6 +279,11 @@ pub fn registry() -> Vec<Entry> {
             "soften",
             "arXiv:2408.11275 extension — softened collisions / noisy channel",
             noisy::run,
+        ),
+        (
+            "scale",
+            "§V-A at scale — streaming sweep to n = 10⁵ (10⁶ with --full)",
+            scale::run,
         ),
     ]
 }

@@ -9,12 +9,12 @@
 //!    `W_A` into the model with the real 64 B / 1024 B packet costs predicts
 //!    the same winner the MAC simulator measures.
 
-use crate::aggregate::aggregate_cell;
+use crate::aggregate::MetricStats;
 use crate::figures::shared::paper_algorithms;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, Sweep};
+use crate::sweep::{folded, Sweep};
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::bounds::{llb_vs_beb_packet_threshold, total_time_bound};
@@ -67,9 +67,12 @@ pub fn run(opts: &Options) -> Report {
         algorithms: paper_algorithms(),
         ns: vec![n],
         trials,
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run();
+    .run_fold(MetricStats::collector(&[
+        Metric::Collisions,
+        Metric::CwSlots,
+    ]));
     let phy = Phy80211g::paper_defaults();
     for payload in [64u32, 1024] {
         let mac_cells = Sweep::<MacSim> {
@@ -78,18 +81,22 @@ pub fn run(opts: &Options) -> Report {
             algorithms: paper_algorithms(),
             ns: vec![n],
             trials,
-            threads: opts.threads,
+            exec: opts.exec(),
         }
-        .run();
+        .run_fold(MetricStats::collector(&[Metric::TotalTimeUs]));
         let model = CostModel::for_payload(&phy, payload);
         let mut rows = Vec::new();
         let mut predicted: Vec<(String, f64)> = Vec::new();
         let mut measured: Vec<(String, f64)> = Vec::new();
         for &alg in &AlgorithmKind::PAPER_SET {
-            let c = aggregate_cell(cell(&abs_cells, alg, n), Metric::Collisions).median;
-            let w = aggregate_cell(cell(&abs_cells, alg, n), Metric::CwSlots).median;
+            let abs = &folded(&abs_cells, alg, n).acc;
+            let c = abs.point(n as f64, Metric::Collisions).median;
+            let w = abs.point(n as f64, Metric::CwSlots).median;
             let pred = model.total_time(c as u64, w as u64).as_micros_f64();
-            let meas = aggregate_cell(cell(&mac_cells, alg, n), Metric::TotalTimeUs).median;
+            let meas = folded(&mac_cells, alg, n)
+                .acc
+                .point(n as f64, Metric::TotalTimeUs)
+                .median;
             predicted.push((alg.label(), pred));
             measured.push((alg.label(), meas));
             rows.push(vec![

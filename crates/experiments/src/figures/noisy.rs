@@ -15,8 +15,8 @@
 //! are shared across channel settings (common random numbers — the paired
 //! comparisons are tighter than independent sampling would give).
 
-use crate::aggregate::{aggregate_values, raw_values, Series};
-use crate::figures::shared::{paper_algorithms, raw_median, single_sweep};
+use crate::aggregate::Series;
+use crate::figures::shared::{paper_algorithms, single_stats};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
@@ -49,14 +49,15 @@ pub fn run(opts: &Options) -> Report {
             points: P_GRID
                 .iter()
                 .map(|&p| {
-                    let cell = single_sweep::<NoisySim>(
+                    let stats = single_stats::<NoisySim>(
                         "soften-abs",
                         NoisyConfig::abstract_model(alg, ChannelModel::softened(p)),
                         n,
                         trials,
-                        opts.threads,
+                        opts.exec(),
+                        &[Metric::CwSlots],
                     );
-                    aggregate_values(p, &raw_values(&cell, Metric::CwSlots))
+                    stats.point(p, Metric::CwSlots)
                 })
                 .collect(),
         })
@@ -85,18 +86,19 @@ pub fn run(opts: &Options) -> Report {
         points: Vec::new(),
     };
     for &noise in &NOISE_GRID {
-        let cell = single_sweep::<NoisySim>(
+        let stats = single_stats::<NoisySim>(
             "soften-noise",
             NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::noisy(noise)),
             n,
             noise_trials,
-            opts.threads,
+            opts.exec(),
+            &[Metric::CwSlots, Metric::Collisions],
         );
-        let point = aggregate_values(noise, &raw_values(&cell, Metric::CwSlots));
+        let point = stats.point(noise, Metric::CwSlots);
         noise_rows.push(vec![
             format!("{noise:.2}"),
             format!("{:.0}", point.median),
-            format!("{:.0}", raw_median(&cell, Metric::Collisions)),
+            format!("{:.0}", stats.raw_median(Metric::Collisions)),
         ]);
         noise_series.points.push(point);
     }
@@ -119,14 +121,15 @@ pub fn run(opts: &Options) -> Report {
     let mut mac_rows = Vec::new();
     let mut fatal_time = 0.0;
     for &p in &[0.0, 0.5, 0.95] {
-        let cell = single_sweep::<MacSim>(
+        let stats = single_stats::<MacSim>(
             "soften-mac",
             MacConfig::with_channel(AlgorithmKind::Beb, 64, ChannelModel::softened(p)),
             mac_n,
             mac_trials,
-            opts.threads,
+            opts.exec(),
+            &[Metric::TotalTimeUs, Metric::AckTimeouts],
         );
-        let total = raw_median(&cell, Metric::TotalTimeUs);
+        let total = stats.raw_median(Metric::TotalTimeUs);
         if p == 0.0 {
             fatal_time = total;
         }
@@ -134,7 +137,7 @@ pub fn run(opts: &Options) -> Report {
             format!("{p:.2}"),
             format!("{total:.0}"),
             format!("{:+.1}%", percent_change(total, fatal_time)),
-            format!("{:.0}", raw_median(&cell, Metric::AckTimeouts)),
+            format!("{:.0}", stats.raw_median(Metric::AckTimeouts)),
         ]);
     }
     report.line(format!(

@@ -5,7 +5,7 @@
 //! p < 0.001 — empirical support for the §IV-D asymptotics (total time
 //! depends on collisions × packet time).
 
-use crate::aggregate::{aggregate_values, paired_differences, Series};
+use crate::aggregate::{aggregate_values, paired_differences, MetricStats, Series};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
@@ -35,10 +35,15 @@ pub fn fig14(opts: &Options) -> Report {
             algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
             ns: vec![n],
             trials,
-            threads: opts.threads,
+            exec: opts.exec(),
         }
-        .run();
-        let diffs = paired_differences(&cells[1].trials, &cells[0].trials, Metric::TotalTimeUs);
+        .run_fold(MetricStats::collector(&[Metric::TotalTimeUs]));
+        // Position-addressed buffers keep trial order, so pairing by index
+        // still compares common-random-number partners.
+        let diffs = paired_differences(
+            cells[1].acc.sample(Metric::TotalTimeUs),
+            cells[0].acc.sample(Metric::TotalTimeUs),
+        );
         for &d in &diffs {
             xs.push(payload as f64);
             ys.push(d);

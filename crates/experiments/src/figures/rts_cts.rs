@@ -6,7 +6,7 @@
 //! +5.6 %/+9.1 % (64 B/1024 B, RTS off) to +10.7 %/+7.5 % (RTS on) — same
 //! qualitative picture.
 
-use crate::aggregate::aggregate_cell;
+use crate::aggregate::MetricStats;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
@@ -31,11 +31,11 @@ pub fn run(opts: &Options) -> Report {
                 algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
                 ns: vec![n],
                 trials,
-                threads: opts.threads,
+                exec: opts.exec(),
             }
-            .run();
-            let beb = aggregate_cell(&cells[0], Metric::TotalTimeUs).median;
-            let llb = aggregate_cell(&cells[1], Metric::TotalTimeUs).median;
+            .run_fold(MetricStats::collector(&[Metric::TotalTimeUs]));
+            let beb = cells[0].acc.point(n as f64, Metric::TotalTimeUs).median;
+            let llb = cells[1].acc.point(n as f64, Metric::TotalTimeUs).median;
             let paper = match (payload, rts) {
                 (64, false) => "+5.6%",
                 (1024, false) => "+9.1%",

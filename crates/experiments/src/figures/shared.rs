@@ -1,15 +1,18 @@
-//! Sweeps shared by several figures.
+//! Sweeps shared by several figures — all on the engine's streaming path.
 //!
 //! The paper generates Figures 3, 6, 7, 9, 11 and 12 from the same 64 B NS3
-//! runs (and 4, 8, 10 from the 1024 B runs); we mirror that by deriving those
-//! figures from one shared sweep per payload, so the figures are mutually
-//! consistent within a `repro` invocation.
+//! runs (and 4, 8, 10 from the 1024 B runs); we mirror that by deriving
+//! those figures from one shared sweep *stream* per payload (same experiment
+//! tag ⇒ same RNG streams ⇒ mutually consistent numbers within a `repro`
+//! invocation), with each figure folding out only the metrics it plots.
 
-use crate::aggregate::{final_percent_vs_first, series_per_algorithm, Series};
+use crate::aggregate::{
+    final_percent_vs_first, series_per_algorithm, MetricStats, Series, StatsCell,
+};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::{Metric, TrialSummary};
-use crate::sweep::{Simulator, Sweep, SweepCell};
+use crate::sweep::{ExecPolicy, Simulator, Sweep};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_mac::{MacConfig, MacSim};
@@ -19,8 +22,8 @@ pub fn paper_algorithms() -> Vec<AlgorithmKind> {
     AlgorithmKind::PAPER_SET.to_vec()
 }
 
-/// The shared MAC sweep for one payload size.
-pub fn mac_sweep(opts: &Options, payload: u32) -> Vec<SweepCell> {
+/// The shared MAC sweep for one payload size, folded down to `metrics`.
+pub fn mac_stats(opts: &Options, payload: u32, metrics: &[Metric]) -> Vec<StatsCell> {
     let experiment: &'static str = match payload {
         64 => "mac-64",
         1024 => "mac-1024",
@@ -33,21 +36,22 @@ pub fn mac_sweep(opts: &Options, payload: u32) -> Vec<SweepCell> {
         algorithms: paper_algorithms(),
         ns: opts.mac_ns(),
         trials: opts.trials_or(8, 30),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run()
+    .run_fold(MetricStats::collector(metrics))
 }
 
-/// A one-cell sweep: all trials of a single `(config, n)` pair, run through
-/// the generic engine. The ablations use this to vary config fields the
-/// grid dimensions don't cover.
-pub fn single_sweep<S: Simulator>(
+/// A one-cell sweep: all trials of a single `(config, n)` pair, streamed
+/// through the generic engine into the requested metric buffers. The
+/// ablations use this to vary config fields the grid dimensions don't cover.
+pub fn single_stats<S: Simulator>(
     experiment: &'static str,
     config: S::Config,
     n: u32,
     trials: u32,
-    threads: Option<usize>,
-) -> SweepCell
+    exec: ExecPolicy,
+    metrics: &[Metric],
+) -> MetricStats
 where
     TrialSummary: From<S::Output>,
 {
@@ -58,16 +62,10 @@ where
         algorithms: vec![algorithm],
         ns: vec![n],
         trials,
-        threads,
+        exec,
     }
-    .run();
-    cells.remove(0)
-}
-
-/// Median of a metric over a cell's trials, without the outlier filter —
-/// the ablations report raw medians.
-pub fn raw_median(cell: &SweepCell, metric: Metric) -> f64 {
-    contention_stats::summary::median(&crate::aggregate::raw_values(cell, metric))
+    .run_fold(MetricStats::collector(metrics));
+    cells.remove(0).acc
 }
 
 /// Builds the standard figure report: a per-algorithm series table over `n`
@@ -80,7 +78,7 @@ pub fn standard_mac_figure(
     metric: Metric,
     paper_percents: &str,
 ) -> Report {
-    let cells = mac_sweep(opts, payload);
+    let cells = mac_stats(opts, payload, &[metric]);
     let series = series_per_algorithm(&cells, &paper_algorithms(), metric);
     report_from_series(title, csv_name, metric, &series, paper_percents)
 }
@@ -125,9 +123,11 @@ mod tests {
     #[test]
     fn shared_sweep_covers_grid() {
         let opts = tiny_opts();
-        let cells = mac_sweep(&opts, 64);
+        let cells = mac_stats(&opts, 64, &[Metric::CwSlots]);
         assert_eq!(cells.len(), 4 * opts.mac_ns().len());
-        assert!(cells.iter().all(|c| c.trials.len() == 3));
+        assert!(cells
+            .iter()
+            .all(|c| c.acc.sample(Metric::CwSlots).len() == 3));
     }
 
     #[test]

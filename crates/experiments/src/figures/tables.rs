@@ -1,11 +1,11 @@
 //! Tables I, II and III.
 
-use crate::aggregate::aggregate_cell;
+use crate::aggregate::{MetricStats, StatsCell};
 use crate::figures::shared::paper_algorithms;
 use crate::figures::Report;
 use crate::options::Options;
 use crate::summary::Metric;
-use crate::sweep::{cell, Sweep, SweepCell};
+use crate::sweep::{folded, Sweep};
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::bounds::{collisions_bound, cw_slots_bound};
@@ -57,8 +57,9 @@ pub fn table1(_opts: &Options) -> Report {
 }
 
 /// Shared growth-check sweep for Tables II and III: abstract model over a
-/// geometric n grid so ratio flatness is meaningful.
-fn growth_sweep(opts: &Options) -> (Vec<u32>, Vec<SweepCell>) {
+/// geometric n grid so ratio flatness is meaningful. Only the table's metric
+/// is folded out of the stream.
+fn growth_sweep(opts: &Options, metric: Metric) -> (Vec<u32>, Vec<StatsCell>) {
     let ns: Vec<u32> = if opts.full {
         vec![100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800]
     } else {
@@ -70,9 +71,9 @@ fn growth_sweep(opts: &Options) -> (Vec<u32>, Vec<SweepCell>) {
         algorithms: paper_algorithms(),
         ns: ns.clone(),
         trials: opts.trials_or(8, 30),
-        threads: opts.threads,
+        exec: opts.exec(),
     }
-    .run();
+    .run_fold(MetricStats::collector(std::slice::from_ref(&metric)));
     (ns, cells)
 }
 
@@ -100,7 +101,7 @@ fn growth_table(
     bound: fn(AlgorithmKind, u64) -> f64,
     opts: &Options,
 ) -> Report {
-    let (ns, cells) = growth_sweep(opts);
+    let (ns, cells) = growth_sweep(opts, metric);
     let mut report = Report::new(title);
     let mut header = vec!["algorithm".to_string(), "guarantee".to_string()];
     for &n in &ns {
@@ -113,7 +114,7 @@ fn growth_table(
         let ratios: Vec<f64> = ns
             .iter()
             .map(|&n| {
-                let measured = aggregate_cell(cell(&cells, alg, n), metric).median;
+                let measured = folded(&cells, alg, n).acc.point(n as f64, metric).median;
                 measured / bound(alg, n as u64)
             })
             .collect();

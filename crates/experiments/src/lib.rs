@@ -11,12 +11,17 @@
 //!   abstract sweeps stay memory-light). Defined in `contention-sim`.
 //! * [`sweep`] — the generic `Sweep<S: Simulator>` engine (defined in
 //!   `contention-sim`): one Cartesian `(algorithm × n × trial)` runner
-//!   drives the MAC, windowed, residual and dynamic simulators alike.
+//!   drives the MAC, windowed, residual and dynamic simulators alike,
+//!   streaming each trial into a per-cell accumulator (the `run_fold` seam).
 //! * [`aggregate`] — the paper's reporting pipeline: outlier filtering
-//!   (1.5·IQR from the median), medians, and 95 % CIs.
+//!   (1.5·IQR from the median), medians, and 95 % CIs, fed by
+//!   [`aggregate::MetricStats`] — flat per-metric trial buffers that retain
+//!   only what a figure asks for.
 //! * [`table`] — plain-text table rendering for the terminal.
 //! * [`csvout`] — CSV emission for plotting.
-//! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids).
+//! * [`jsonout`] — JSON emission (`repro --json`), pinned by golden files.
+//! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids,
+//!   `--threads` / `--batch` execution knobs).
 //! * [`cli`] — the `repro` entry point; the binary itself lives in the
 //!   workspace root package so `cargo run --bin repro` needs no `-p` flag.
 
@@ -24,6 +29,7 @@ pub mod aggregate;
 pub mod cli;
 pub mod csvout;
 pub mod figures;
+pub mod jsonout;
 pub mod options;
 pub mod summary;
 pub mod sweep;

@@ -1,11 +1,12 @@
 //! CLI options shared by every `repro` subcommand.
 
+use contention_sim::engine::ExecPolicy;
 use std::path::PathBuf;
 
 /// Harness options.
 ///
 /// The default grids are laptop-quick; `--full` switches to the paper's
-/// grids (30–200 trials, n up to 150 for the MAC sweeps and 10⁵ for the
+/// grids (30–200 trials, n up to 150 for the MAC sweeps and 10⁵–10⁶ for the
 /// abstract sweeps), which take minutes rather than seconds.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Options {
@@ -17,6 +18,10 @@ pub struct Options {
     pub out_dir: Option<PathBuf>,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Trials per work-item claim (`None` = auto).
+    pub batch: Option<usize>,
+    /// Also write JSON series next to the CSVs (requires `--out`).
+    pub json: bool,
 }
 
 impl Options {
@@ -44,6 +49,16 @@ impl Options {
         }
     }
 
+    /// The engine execution policy these options describe. Progress
+    /// reporting comes on for `--full` runs (and stays silent off-TTY).
+    pub fn exec(&self) -> ExecPolicy {
+        ExecPolicy {
+            threads: self.threads,
+            batch: self.batch,
+            progress: self.full,
+        }
+    }
+
     /// Parses `repro`-style flags. Returns `(subcommand, options)`.
     pub fn parse(args: &[String]) -> Result<(String, Options), String> {
         let mut sub = None;
@@ -52,6 +67,7 @@ impl Options {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--json" => opts.json = true,
                 "--trials" => {
                     let v = it.next().ok_or("--trials needs a value")?;
                     opts.trials = Some(v.parse().map_err(|_| format!("bad trial count {v:?}"))?);
@@ -64,6 +80,14 @@ impl Options {
                     let v = it.next().ok_or("--threads needs a value")?;
                     opts.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
                 }
+                "--batch" => {
+                    let v = it.next().ok_or("--batch needs a value")?;
+                    let batch: usize = v.parse().map_err(|_| format!("bad batch size {v:?}"))?;
+                    if batch == 0 {
+                        return Err("--batch must be at least 1".to_string());
+                    }
+                    opts.batch = Some(batch);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
@@ -73,6 +97,9 @@ impl Options {
                     }
                 }
             }
+        }
+        if opts.json && opts.out_dir.is_none() {
+            return Err("--json needs --out DIR to write into".to_string());
         }
         Ok((sub.ok_or("missing subcommand")?, opts))
     }
@@ -95,18 +122,29 @@ mod tests {
             "5",
             "--threads",
             "2",
+            "--batch",
+            "64",
         ]))
         .unwrap();
         assert_eq!(sub, "fig7");
         assert!(opts.full);
         assert_eq!(opts.trials, Some(5));
         assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.batch, Some(64));
     }
 
     #[test]
-    fn out_dir() {
+    fn out_dir_and_json() {
         let (_, opts) = Options::parse(&strs(&["fig3", "--out", "/tmp/x"])).unwrap();
         assert_eq!(opts.out_dir, Some(PathBuf::from("/tmp/x")));
+        assert!(!opts.json);
+        let (_, opts) = Options::parse(&strs(&["fig3", "--out", "/tmp/x", "--json"])).unwrap();
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn json_without_out_is_rejected() {
+        assert!(Options::parse(&strs(&["fig3", "--json"])).is_err());
     }
 
     #[test]
@@ -115,6 +153,19 @@ mod tests {
         assert!(Options::parse(&strs(&["--full"])).is_err());
         assert!(Options::parse(&strs(&["fig3", "fig4"])).is_err());
         assert!(Options::parse(&strs(&["fig3", "--trials", "abc"])).is_err());
+        assert!(Options::parse(&strs(&["fig3", "--batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn exec_policy_mirrors_flags() {
+        let (_, opts) =
+            Options::parse(&strs(&["fig3", "--threads", "4", "--batch", "16"])).unwrap();
+        let exec = opts.exec();
+        assert_eq!(exec.threads, Some(4));
+        assert_eq!(exec.batch, Some(16));
+        assert!(!exec.progress);
+        let (_, opts) = Options::parse(&strs(&["fig3", "--full"])).unwrap();
+        assert!(opts.exec().progress);
     }
 
     #[test]

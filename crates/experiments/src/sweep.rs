@@ -11,7 +11,9 @@
 //! * `Sweep::<ResidualSim>` — the abstract residual-timer semantics,
 //! * `Sweep::<DynamicSim>` — long-lived traffic (uses [`Sweep::run_raw`]).
 
-pub use contention_sim::engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
+pub use contention_sim::engine::{
+    cell, folded, run_trial, Accumulator, Cell, ExecPolicy, FoldedCell, Simulator, Sweep, SweepCell,
+};
 
 #[cfg(test)]
 mod tests {
@@ -29,11 +31,11 @@ mod tests {
             algorithms: vec![Beb, Sawtooth],
             ns: vec![5, 10],
             trials: 3,
-            threads: Some(2),
+            exec: ExecPolicy::threads(2),
         };
         let a = sweep.run();
         let b = Sweep {
-            threads: Some(7),
+            exec: ExecPolicy::threads(7),
             ..sweep
         }
         .run();
@@ -53,7 +55,7 @@ mod tests {
             algorithms: vec![Beb],
             ns: vec![50],
             trials: 4,
-            threads: Some(1),
+            exec: ExecPolicy::threads(1),
         };
         let cells = sweep.run();
         assert_eq!(cells.len(), 1);
@@ -69,7 +71,7 @@ mod tests {
             algorithms: vec![Beb, LogBackoff],
             ns: vec![10, 20],
             trials: 1,
-            threads: Some(1),
+            exec: ExecPolicy::threads(1),
         };
         let cells = sweep.run();
         assert_eq!(cell(&cells, LogBackoff, 20).n, 20);
@@ -86,7 +88,7 @@ mod tests {
             algorithms: vec![Sawtooth],
             ns: vec![12],
             trials: 2,
-            threads: Some(2),
+            exec: ExecPolicy::threads(2),
         }
         .run();
         let lone = run_trial::<MacSim>("sweep-vs-trial", &config, 12, 1);

@@ -13,18 +13,29 @@
 //!   the repository — sweeps, figures, benches — goes through this
 //!   derivation, so any number anywhere is reproducible in isolation.
 //! * [`Sweep`] — the Cartesian `(algorithm × n × trial)` grid, executed on
-//!   the deterministic parallel runner. Results are keyed by input index,
-//!   so the output (ordering *and* every number) is independent of the
-//!   worker-thread count.
+//!   the batched deterministic runner under an [`ExecPolicy`].
+//!
+//! The engine *streams*: work items are generated on the fly from a single
+//! cursor (never materialized as a grid `Vec`), workers claim trials in
+//! batches, and each trial's result is **folded into a per-cell
+//! [`Accumulator`] inside the worker**. A figure that only needs two metrics
+//! of a million-trial sweep retains two `f64`s per trial — not a
+//! `TrialSummary` — which is what lets the abstract sweeps reach the paper's
+//! full n = 10⁵ grid (and 10⁶) in one process. The collect-style API
+//! ([`Sweep::run`], [`Sweep::run_mapped`]) still exists and is itself a fold
+//! into position-addressed slots, so both paths are bit-identical by
+//! construction across thread counts *and* batch sizes.
 //!
 //! A backend plugs in by implementing `Simulator`; nothing else in the
 //! experiment layer changes. This is the seam where additional channel
 //! models (e.g. the noisy/corrupted-slot model of arXiv:2408.11275) slot in.
 
-use crate::parallel::parallel_map_threads;
+use crate::parallel::{auto_batch, parallel_for_batches};
+use crate::progress::Progress;
 use crate::summary::TrialSummary;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::rng::{experiment_tag, trial_rng};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 /// One execution backend: everything [`Sweep`] needs to run trials of it.
@@ -35,7 +46,8 @@ pub trait Simulator {
     /// Full per-trial configuration, including the algorithm under test.
     type Config: Clone + Send + Sync;
     /// Raw per-trial output. Backends with a [`TrialSummary`] conversion get
-    /// [`Sweep::run`]; the rest use [`Sweep::run_raw`].
+    /// [`Sweep::run`] and [`Sweep::run_fold`]; the rest use
+    /// [`Sweep::run_raw`] / [`Sweep::run_fold_raw`].
     type Output: Send;
 
     /// Short name used in diagnostics.
@@ -68,6 +80,52 @@ pub fn run_trial<S: Simulator>(
     S::run(config, n, &mut rng)
 }
 
+/// A per-cell streaming reducer: the engine folds each trial's result into
+/// it inside the worker thread, instead of collecting results into a `Vec`.
+///
+/// Trials of a cell arrive **exactly once each but in arbitrary order**
+/// (workers race). For the sweep to stay bit-identical across thread counts
+/// and batch sizes, the final state must not depend on arrival order: either
+/// address by position (write trial `t` into slot `t` — what the built-in
+/// collectors do) or fold with an exactly order-independent operation
+/// (counts, integer sums, min/max). Order-*sensitive* floating-point folds
+/// (e.g. running means) would silently break determinism — keep them out of
+/// accumulators.
+pub trait Accumulator<T> {
+    /// Folds the result of trial `trial` (0-based within the cell) in.
+    fn record(&mut self, trial: u32, value: T);
+}
+
+/// How a sweep executes: worker threads, trials per work-item claim, and
+/// whether to report progress. Orthogonal to *what* the sweep computes —
+/// results are identical for every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Worker threads (`None` = all available, `Some(0|1)` = sequential).
+    pub threads: Option<usize>,
+    /// Trials claimed per scheduling step (`None` = auto: ~32 claims per
+    /// worker, capped at 1024). Purely a performance knob.
+    pub batch: Option<usize>,
+    /// Report trials-completed / ETA on stderr (only when stderr is a TTY).
+    pub progress: bool,
+}
+
+impl ExecPolicy {
+    /// Policy with an explicit worker count.
+    pub fn threads(threads: usize) -> ExecPolicy {
+        ExecPolicy {
+            threads: Some(threads),
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// Same policy with an explicit batch size.
+    pub fn with_batch(mut self, batch: usize) -> ExecPolicy {
+        self.batch = Some(batch);
+        self
+    }
+}
+
 /// One aggregate cell: all trials of one `(algorithm, n)` pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cell<T> {
@@ -76,13 +134,23 @@ pub struct Cell<T> {
     pub trials: Vec<T>,
 }
 
-/// The summarized cell type every figure consumes.
+/// The summarized cell type every collect-style consumer uses.
 pub type SweepCell = Cell<TrialSummary>;
+
+/// One cell of a folded sweep: the accumulator state after every trial of
+/// one `(algorithm, n)` pair has been folded in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedCell<A> {
+    pub algorithm: AlgorithmKind,
+    pub n: u32,
+    pub acc: A,
+}
 
 /// A Cartesian `(algorithm × n × trial)` sweep over one simulator.
 ///
 /// Every trial derives its RNG from `(experiment tag, algorithm, n, trial)`,
-/// so the sweep's numbers are independent of thread count and scheduling.
+/// so the sweep's numbers are independent of thread count, batch size and
+/// scheduling.
 pub struct Sweep<S: Simulator> {
     /// RNG namespace; also names the experiment in outputs.
     pub experiment: &'static str,
@@ -91,8 +159,8 @@ pub struct Sweep<S: Simulator> {
     pub algorithms: Vec<AlgorithmKind>,
     pub ns: Vec<u32>,
     pub trials: u32,
-    /// Worker threads (`None` = all available).
-    pub threads: Option<usize>,
+    /// Execution policy (threads / batch size / progress).
+    pub exec: ExecPolicy,
 }
 
 impl<S: Simulator> Clone for Sweep<S> {
@@ -103,7 +171,7 @@ impl<S: Simulator> Clone for Sweep<S> {
             algorithms: self.algorithms.clone(),
             ns: self.ns.clone(),
             trials: self.trials,
-            threads: self.threads,
+            exec: self.exec,
         }
     }
 }
@@ -116,21 +184,15 @@ impl<S: Simulator> std::fmt::Debug for Sweep<S> {
             .field("algorithms", &self.algorithms)
             .field("ns", &self.ns)
             .field("trials", &self.trials)
-            .field("threads", &self.threads)
+            .field("exec", &self.exec)
             .finish()
     }
 }
 
 impl<S: Simulator> Sweep<S> {
-    /// Runs the grid, mapping each raw output inside the worker thread
-    /// (large outputs are reduced before being collected).
-    pub fn run_mapped<T, F>(&self, map: F) -> Vec<Cell<T>>
-    where
-        T: Send,
-        F: Fn(S::Output) -> T + Sync,
-    {
-        // Cells are keyed by (algorithm, n) position; a duplicate grid entry
-        // would silently funnel every trial into the first occurrence.
+    /// Cells are keyed by `(algorithm, n)` grid position; a duplicate grid
+    /// entry would silently split a cell's trials across two cells.
+    fn validate_grid(&self) {
         for (i, a) in self.algorithms.iter().enumerate() {
             assert!(
                 !self.algorithms[..i].contains(a),
@@ -140,24 +202,90 @@ impl<S: Simulator> Sweep<S> {
         for (i, n) in self.ns.iter().enumerate() {
             assert!(!self.ns[..i].contains(n), "duplicate n={n} in sweep grid");
         }
+    }
+
+    /// The streaming core: runs the grid with batched work claiming, maps
+    /// each raw output inside the worker, and folds it into its cell's
+    /// accumulator — still inside the worker. Nothing per-trial survives
+    /// beyond what the accumulator retains.
+    fn run_streamed<T, A, M, I>(&self, map: M, mut init: I) -> Vec<FoldedCell<A>>
+    where
+        A: Accumulator<T> + Send,
+        M: Fn(S::Output) -> T + Sync,
+        I: FnMut(AlgorithmKind, u32, u32) -> A,
+    {
+        self.validate_grid();
         let tag = experiment_tag(self.experiment);
-        let items: Vec<(AlgorithmKind, u32, u32)> = self
+        let trials = self.trials as usize;
+        let grid: Vec<(AlgorithmKind, u32)> = self
             .algorithms
             .iter()
-            .flat_map(|&alg| {
-                self.ns
-                    .iter()
-                    .flat_map(move |&n| (0..self.trials).map(move |t| (alg, n, t)))
-            })
+            .flat_map(|&alg| self.ns.iter().map(move |&n| (alg, n)))
             .collect();
-        let base = self.config.clone();
-        let threads = self.threads.unwrap_or_else(default_threads);
-        let results = parallel_map_threads(items.clone(), threads, move |(alg, n, t)| {
-            let config = S::with_algorithm(&base, alg);
-            let mut rng = trial_rng(tag, alg, n, t);
-            map(S::run(&config, n, &mut rng))
-        });
-        collect_cells(&self.algorithms, &self.ns, self.trials, items, results)
+        let accumulators: Vec<Mutex<A>> = grid
+            .iter()
+            .map(|&(alg, n)| Mutex::new(init(alg, n, self.trials)))
+            .collect();
+        let total = grid.len() * trials;
+        if total > 0 {
+            let threads = self.exec.threads.unwrap_or_else(default_threads);
+            let batch = self
+                .exec
+                .batch
+                .unwrap_or_else(|| auto_batch(total, threads));
+            let progress = Progress::new(total, self.exec.progress);
+            let base = self.config.clone();
+            // The work item for global index g is (cell g / trials,
+            // trial g % trials) — computed, never stored.
+            parallel_for_batches(total, threads, batch, |range| {
+                for g in range {
+                    let cell_index = g / trials;
+                    let trial = (g % trials) as u32;
+                    let (alg, n) = grid[cell_index];
+                    let config = S::with_algorithm(&base, alg);
+                    let mut rng = trial_rng(tag, alg, n, trial);
+                    let value = map(S::run(&config, n, &mut rng));
+                    accumulators[cell_index].lock().record(trial, value);
+                    progress.tick();
+                }
+            });
+            progress.finish();
+        }
+        grid.into_iter()
+            .zip(accumulators)
+            .map(|((algorithm, n), acc)| FoldedCell {
+                algorithm,
+                n,
+                acc: acc.into_inner(),
+            })
+            .collect()
+    }
+
+    /// Runs the grid, folding each *raw* output into a per-cell accumulator
+    /// built by `init(algorithm, n, trials)`.
+    pub fn run_fold_raw<A, I>(&self, init: I) -> Vec<FoldedCell<A>>
+    where
+        A: Accumulator<S::Output> + Send,
+        I: FnMut(AlgorithmKind, u32, u32) -> A,
+    {
+        self.run_streamed(|output| output, init)
+    }
+
+    /// Runs the grid, mapping each raw output inside the worker thread
+    /// (large outputs are reduced before being collected).
+    pub fn run_mapped<T, F>(&self, map: F) -> Vec<Cell<T>>
+    where
+        T: Send,
+        F: Fn(S::Output) -> T + Sync,
+    {
+        self.run_streamed(map, |_, _, trials| Slots::new(trials))
+            .into_iter()
+            .map(|cell| Cell {
+                algorithm: cell.algorithm,
+                n: cell.n,
+                trials: cell.acc.into_vec(),
+            })
+            .collect()
     }
 
     /// Runs the grid, keeping each backend's raw output.
@@ -174,6 +302,46 @@ where
     pub fn run(&self) -> Vec<SweepCell> {
         self.run_mapped(TrialSummary::from)
     }
+
+    /// Runs the grid, folding each trial's [`TrialSummary`] into a per-cell
+    /// accumulator built by `init(algorithm, n, trials)` — the streaming
+    /// path every figure-facing aggregate rides.
+    pub fn run_fold<A, I>(&self, init: I) -> Vec<FoldedCell<A>>
+    where
+        A: Accumulator<TrialSummary> + Send,
+        I: FnMut(AlgorithmKind, u32, u32) -> A,
+    {
+        self.run_streamed(TrialSummary::from, init)
+    }
+}
+
+/// Position-addressed slots: the accumulator behind the collect-style API.
+/// Arrival order cannot matter because trial `t` lands in slot `t`.
+struct Slots<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> Slots<T> {
+    fn new(trials: u32) -> Slots<T> {
+        Slots {
+            slots: (0..trials).map(|_| None).collect(),
+        }
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|slot| slot.expect("missing trial"))
+            .collect()
+    }
+}
+
+impl<T> Accumulator<T> for Slots<T> {
+    fn record(&mut self, trial: u32, value: T) {
+        let slot = &mut self.slots[trial as usize];
+        assert!(slot.is_none(), "trial {trial} recorded twice");
+        *slot = Some(value);
+    }
 }
 
 fn default_threads() -> usize {
@@ -182,39 +350,16 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-fn collect_cells<T>(
-    algorithms: &[AlgorithmKind],
-    ns: &[u32],
-    trials: u32,
-    items: Vec<(AlgorithmKind, u32, u32)>,
-    results: Vec<T>,
-) -> Vec<Cell<T>> {
-    let mut cells: Vec<Cell<T>> = algorithms
-        .iter()
-        .flat_map(|&alg| {
-            ns.iter().map(move |&n| Cell {
-                algorithm: alg,
-                n,
-                trials: Vec::with_capacity(trials as usize),
-            })
-        })
-        .collect();
-    let index = |alg: AlgorithmKind, n: u32| -> usize {
-        let ai = algorithms
-            .iter()
-            .position(|&a| a == alg)
-            .expect("known algorithm");
-        let ni = ns.iter().position(|&m| m == n).expect("known n");
-        ai * ns.len() + ni
-    };
-    for ((alg, n, _), result) in items.into_iter().zip(results) {
-        cells[index(alg, n)].trials.push(result);
-    }
+/// Looks up one cell in a collect-style sweep result.
+pub fn cell<T>(cells: &[Cell<T>], alg: AlgorithmKind, n: u32) -> &Cell<T> {
     cells
+        .iter()
+        .find(|c| c.algorithm == alg && c.n == n)
+        .unwrap_or_else(|| panic!("no cell for {alg} at n={n}"))
 }
 
-/// Looks up one cell in a sweep result.
-pub fn cell<T>(cells: &[Cell<T>], alg: AlgorithmKind, n: u32) -> &Cell<T> {
+/// Looks up one cell in a folded sweep result.
+pub fn folded<A>(cells: &[FoldedCell<A>], alg: AlgorithmKind, n: u32) -> &FoldedCell<A> {
     cells
         .iter()
         .find(|c| c.algorithm == alg && c.n == n)
@@ -262,7 +407,7 @@ mod tests {
         }
     }
 
-    fn toy_sweep(threads: Option<usize>) -> Sweep<ToySim> {
+    fn toy_sweep(exec: ExecPolicy) -> Sweep<ToySim> {
         Sweep::<ToySim> {
             experiment: "engine-test",
             config: ToyConfig {
@@ -272,29 +417,85 @@ mod tests {
             algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
             ns: vec![5, 10, 20],
             trials: 4,
-            threads,
+            exec,
+        }
+    }
+
+    /// Order-independent fold: exact count and integer sum of cw_slots.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    struct CwSum {
+        count: u32,
+        slots: u64,
+    }
+
+    impl Accumulator<TrialSummary> for CwSum {
+        fn record(&mut self, _trial: u32, value: TrialSummary) {
+            self.count += 1;
+            self.slots += value.cw_slots as u64;
         }
     }
 
     #[test]
     fn grid_is_complete_and_cell_lookup_works() {
-        let cells = toy_sweep(Some(2)).run();
+        let cells = toy_sweep(ExecPolicy::threads(2)).run();
         assert_eq!(cells.len(), 6);
         assert!(cells.iter().all(|c| c.trials.len() == 4));
         assert_eq!(cell(&cells, AlgorithmKind::Sawtooth, 20).n, 20);
     }
 
     #[test]
-    fn results_are_independent_of_thread_count() {
-        let one = toy_sweep(Some(1)).run();
-        let many = toy_sweep(Some(7)).run();
-        assert_eq!(one, many, "thread count changed results");
+    fn results_are_independent_of_thread_count_and_batch_size() {
+        let golden = toy_sweep(ExecPolicy::threads(1).with_batch(1)).run();
+        for threads in [1usize, 7] {
+            for batch in [1usize, 5, 1024] {
+                let got = toy_sweep(ExecPolicy::threads(threads).with_batch(batch)).run();
+                assert_eq!(
+                    golden, got,
+                    "threads={threads} batch={batch} changed results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_fold_agrees_with_run() {
+        let cells = toy_sweep(ExecPolicy::threads(2)).run();
+        let folded_cells =
+            toy_sweep(ExecPolicy::threads(7).with_batch(3)).run_fold(|_, _, _| CwSum::default());
+        assert_eq!(cells.len(), folded_cells.len());
+        for (c, f) in cells.iter().zip(&folded_cells) {
+            assert_eq!((c.algorithm, c.n), (f.algorithm, f.n));
+            let expect = CwSum {
+                count: c.trials.len() as u32,
+                slots: c.trials.iter().map(|t| t.cw_slots as u64).sum(),
+            };
+            assert_eq!(f.acc, expect, "fold diverged at {}/{}", c.algorithm, c.n);
+        }
+        assert_eq!(folded(&folded_cells, AlgorithmKind::Beb, 10).n, 10);
+    }
+
+    #[test]
+    fn fold_init_sees_cell_coordinates() {
+        let folded_cells = toy_sweep(ExecPolicy::threads(1)).run_fold_raw(|alg, n, trials| {
+            assert_eq!(trials, 4);
+            assert!(n == 5 || n == 10 || n == 20);
+            assert!(alg == AlgorithmKind::Beb || alg == AlgorithmKind::Sawtooth);
+            CountRaw(0)
+        });
+        assert!(folded_cells.iter().all(|c| c.acc.0 == 4));
+    }
+
+    struct CountRaw(u32);
+    impl Accumulator<BatchMetrics> for CountRaw {
+        fn record(&mut self, _trial: u32, _value: BatchMetrics) {
+            self.0 += 1;
+        }
     }
 
     #[test]
     fn run_raw_and_run_agree() {
-        let raw = toy_sweep(Some(2)).run_raw();
-        let summarized = toy_sweep(Some(2)).run();
+        let raw = toy_sweep(ExecPolicy::threads(2)).run_raw();
+        let summarized = toy_sweep(ExecPolicy::threads(2)).run();
         for (r, s) in raw.iter().zip(&summarized) {
             for (m, t) in r.trials.iter().zip(&s.trials) {
                 assert_eq!(TrialSummary::from_metrics(m), *t);
@@ -306,7 +507,7 @@ mod tests {
     fn run_trial_matches_the_sweep_stream() {
         // The single-trial entry point must hit the same RNG stream the
         // sweep derives, so bench trials and sweep trials are interchangeable.
-        let sweep = toy_sweep(Some(1));
+        let sweep = toy_sweep(ExecPolicy::threads(1));
         let cells = sweep.run_raw();
         let config = ToyConfig {
             algorithm: AlgorithmKind::Beb,
@@ -314,6 +515,15 @@ mod tests {
         };
         let lone = run_trial::<ToySim>("engine-test", &config, 10, 2);
         assert_eq!(cell(&cells, AlgorithmKind::Beb, 10).trials[2], lone);
+    }
+
+    #[test]
+    fn zero_trials_yields_empty_cells() {
+        let mut sweep = toy_sweep(ExecPolicy::threads(2));
+        sweep.trials = 0;
+        let cells = sweep.run();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().all(|c| c.trials.is_empty()));
     }
 
     #[test]
@@ -326,7 +536,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate n=10")]
     fn duplicate_grid_entries_are_rejected() {
-        let mut sweep = toy_sweep(Some(1));
+        let mut sweep = toy_sweep(ExecPolicy::threads(1));
         sweep.ns = vec![10, 10];
         let _ = sweep.run();
     }
@@ -334,14 +544,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate algorithm")]
     fn duplicate_algorithms_are_rejected() {
-        let mut sweep = toy_sweep(Some(1));
+        let mut sweep = toy_sweep(ExecPolicy::threads(1));
         sweep.algorithms = vec![AlgorithmKind::Beb, AlgorithmKind::Beb];
         let _ = sweep.run();
     }
 
     #[test]
     fn zero_threads_is_clamped_to_sequential() {
-        let cells = toy_sweep(Some(0)).run();
-        assert_eq!(cells, toy_sweep(Some(1)).run());
+        let cells = toy_sweep(ExecPolicy::threads(0)).run();
+        assert_eq!(cells, toy_sweep(ExecPolicy::threads(1)).run());
     }
 }

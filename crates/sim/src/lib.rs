@@ -6,13 +6,16 @@
 //!   stable FIFO tie-breaking at equal timestamps, and token-based lazy
 //!   cancellation (needed for backoff timers that freeze when the medium
 //!   goes busy).
-//! * [`parallel`] — a deterministic parallel trial executor built on
-//!   std scoped threads; work items are claimed through an atomic
-//!   index so the output order is always the input order regardless of
-//!   thread scheduling.
+//! * [`parallel`] — a deterministic batched parallel executor built on std
+//!   scoped threads; workers claim contiguous index ranges from one atomic
+//!   cursor and results are routed by index, so every number is independent
+//!   of thread scheduling and batch size.
 //! * [`engine`] — the generic sweep engine: the [`engine::Simulator`] trait
-//!   every backend implements, the canonical per-trial RNG derivation, and
-//!   the thread-count-independent [`engine::Sweep`] grid runner.
+//!   every backend implements, the canonical per-trial RNG derivation, the
+//!   [`engine::Accumulator`] streaming-fold seam, and the
+//!   thread-count-independent [`engine::Sweep`] grid runner with its
+//!   [`engine::ExecPolicy`] (threads / batch / progress).
+//! * [`progress`] — the rate-limited stderr progress meter long sweeps use.
 //! * [`summary`] — [`summary::TrialSummary`], the scalar per-trial record
 //!   every backend's output reduces to, and the [`summary::Metric`]
 //!   selectors figures plot.
@@ -20,9 +23,12 @@
 pub mod engine;
 pub mod event;
 pub mod parallel;
+pub mod progress;
 pub mod summary;
 
-pub use engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
+pub use engine::{
+    cell, folded, run_trial, Accumulator, Cell, ExecPolicy, FoldedCell, Simulator, Sweep, SweepCell,
+};
 pub use event::{EventQueue, EventToken};
-pub use parallel::{parallel_map, parallel_map_threads};
+pub use parallel::{auto_batch, parallel_for_batches};
 pub use summary::{Metric, TrialSummary};

@@ -1,125 +1,178 @@
-//! Deterministic parallel execution of independent trials.
+//! Deterministic parallel execution of independent work items.
 //!
 //! The paper ran its sweeps on four 16-core Xeon nodes; here the same
 //! embarrassing parallelism is captured with `std::thread::scope` (stable
-//! since Rust 1.63, so no crossbeam dependency). Work items are claimed via
-//! a single atomic counter (no chunking), which gives
-//! near-perfect load balance when trial costs vary by orders of magnitude
-//! across `n` — exactly the shape of these sweeps. Results land in a
-//! pre-sized output vector at their input index, so output order (and,
-//! because every trial derives its own RNG from its index, every number)
-//! is independent of scheduling.
+//! since Rust 1.63, so no crossbeam dependency). Work is claimed in
+//! *batches*: a single atomic cursor hands each worker a contiguous index
+//! range, so claiming costs one atomic op per `batch` items instead of one
+//! per item, and nothing about the work list is materialized up front — the
+//! caller maps indices to work on the fly (the engine derives the whole
+//! `(algorithm, n, trial)` work item from the index arithmetically). Small
+//! batches give near-perfect load balance when item costs vary by orders of
+//! magnitude across `n` — exactly the shape of these sweeps; large batches
+//! amortize scheduling for cheap items. Either way the caller routes results
+//! by *index*, so output placement (and, because every trial derives its own
+//! RNG from its index, every number) is independent of scheduling, thread
+//! count and batch size.
 
-use parking_lot::Mutex;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Parallel `map` preserving input order, using up to
-/// `std::thread::available_parallelism()` worker threads.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    parallel_map_threads(items, threads, f)
+/// Default batch size: aim for ~32 claims per worker, which keeps the
+/// cursor cold while preserving load balance when per-item cost varies by
+/// orders of magnitude; capped so one straggler batch can never serialize a
+/// large sweep.
+pub fn auto_batch(total: usize, threads: usize) -> usize {
+    (total / (threads.max(1) * 32)).clamp(1, 1024)
 }
 
-/// [`parallel_map`] with an explicit worker count (1 ⇒ fully sequential,
-/// useful for debugging and for tests that assert determinism).
-pub fn parallel_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+/// Runs `work` over every contiguous batch of `0..total`, on up to
+/// `threads` workers claiming `batch`-sized ranges from an atomic cursor.
+///
+/// Each index in `0..total` is visited exactly once; with `threads <= 1`
+/// the ranges are executed inline in order. A worker panic propagates when
+/// the scope joins.
+pub fn parallel_for_batches<F>(total: usize, threads: usize, batch: usize, work: F)
 where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(Range<usize>) + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
+    if total == 0 {
+        return;
     }
-    let threads = threads.max(1).min(n);
+    let threads = threads.max(1).min(total);
+    // Clamp to `total` so `start + batch` cannot overflow for any caller
+    // value (the CLI accepts arbitrary usize batches).
+    let batch = batch.clamp(1, total);
     if threads == 1 {
-        return items.into_iter().map(f).collect();
+        let mut start = 0;
+        while start < total {
+            let end = (start + batch).min(total);
+            work(start..end);
+            start = end;
+        }
+        return;
     }
-
-    // Wrap each input in a Mutex<Option<T>> cell so workers can *take* items
-    // by index without requiring T: Sync or cloning.
-    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-
-    // A worker panic propagates when the scope joins, matching the old
-    // crossbeam behaviour of surfacing the panic to the caller.
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(batch, Ordering::Relaxed);
+                if start >= total {
                     break;
                 }
-                let item = cells[i].lock().take().expect("item claimed twice");
-                let r = f(item);
-                *out[i].lock() = Some(r);
+                work(start..(start + batch).min(total));
             });
         }
     });
-
-    out.into_iter()
-        .map(|cell| cell.into_inner().expect("missing result"))
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
-    fn maps_preserving_order() {
-        let out = parallel_map((0..1000).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    fn batches_cover_every_index_exactly_once() {
+        for threads in [1usize, 2, 8] {
+            for batch in [1usize, 3, 16, 1024] {
+                let total = 1000;
+                let hits: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+                parallel_for_batches(total, threads, batch, |range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} batch={batch}: index visited != once"
+                );
+            }
+        }
     }
 
     #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree() {
-        let work = |x: u64| {
+    fn index_routed_results_are_schedule_independent() {
+        // The engine's usage pattern in miniature: derive work from the
+        // index, write the result at the index. Any schedule must produce
+        // the same output vector.
+        let compute = |i: usize| {
             // Skewed cost to exercise load balancing.
-            let mut acc = x;
-            for _ in 0..(x % 97) * 100 {
+            let mut acc = i as u64;
+            for _ in 0..(i % 97) * 100 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
             }
             acc
         };
-        let input: Vec<u64> = (0..500).collect();
-        let seq = parallel_map_threads(input.clone(), 1, work);
-        let par = parallel_map_threads(input, 8, work);
-        assert_eq!(seq, par);
+        let run = |threads: usize, batch: usize| -> Vec<u64> {
+            let out = Mutex::new(vec![0u64; 500]);
+            parallel_for_batches(500, threads, batch, |range| {
+                let results: Vec<u64> = range.clone().map(compute).collect();
+                let mut out = out.lock();
+                for (i, r) in range.zip(results) {
+                    out[i] = r;
+                }
+            });
+            out.into_inner()
+        };
+        let golden = run(1, 1);
+        for threads in [2usize, 8] {
+            for batch in [1usize, 7, 64] {
+                assert_eq!(
+                    golden,
+                    run(threads, batch),
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_path_runs_in_order() {
+        let seen = Mutex::new(Vec::new());
+        parallel_for_batches(10, 1, 3, |range| seen.lock().extend(range));
+        assert_eq!(seen.into_inner(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_total_is_a_noop() {
+        parallel_for_batches(0, 4, 16, |_| panic!("no work expected"));
+    }
+
+    #[test]
+    fn batch_zero_is_clamped() {
+        let count = AtomicUsize::new(0);
+        parallel_for_batches(10, 2, 0, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn huge_batch_does_not_overflow() {
+        for threads in [1usize, 4] {
+            let count = AtomicUsize::new(0);
+            parallel_for_batches(10, threads, usize::MAX, |range| {
+                count.fetch_add(range.len(), Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 10, "threads={threads}");
+        }
     }
 
     #[test]
     fn more_threads_than_items() {
-        let out = parallel_map_threads(vec![1, 2, 3], 64, |x: i32| x * x);
-        assert_eq!(out, vec![1, 4, 9]);
+        let count = AtomicUsize::new(0);
+        parallel_for_batches(3, 64, 1, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
     }
 
     #[test]
-    fn non_clone_items_are_moved_through() {
-        // Box<T> is Send but we never clone; this compiles only if items are
-        // moved, which is the point of the Mutex<Option<T>> cells.
-        let items: Vec<Box<u32>> = (0..64).map(Box::new).collect();
-        let out = parallel_map(items, |b| *b + 1);
-        assert_eq!(out[63], 64);
+    fn auto_batch_is_sane() {
+        assert_eq!(auto_batch(0, 8), 1);
+        assert_eq!(auto_batch(10, 8), 1);
+        assert_eq!(auto_batch(1 << 20, 8), 1024); // capped
+        assert!(auto_batch(10_000, 4) >= 1);
     }
 }

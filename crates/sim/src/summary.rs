@@ -69,6 +69,7 @@ impl From<BatchMetrics> for TrialSummary {
 /// The metric a figure plots; selects a field of [`TrialSummary`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Metric {
+    Successes,
     CwSlots,
     HalfCwSlots,
     TotalTimeUs,
@@ -82,8 +83,25 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Every metric, in [`TrialSummary`] field order — for consumers that
+    /// need the full per-trial record through the streaming path.
+    pub const ALL: [Metric; 11] = [
+        Metric::Successes,
+        Metric::CwSlots,
+        Metric::HalfCwSlots,
+        Metric::TotalTimeUs,
+        Metric::HalfTimeUs,
+        Metric::Collisions,
+        Metric::CollidingStations,
+        Metric::AckTimeouts,
+        Metric::MaxAckTimeouts,
+        Metric::MaxAckTimeoutTimeUs,
+        Metric::MedianEstimate,
+    ];
+
     pub fn extract(self, t: &TrialSummary) -> f64 {
         match self {
+            Metric::Successes => t.successes as f64,
             Metric::CwSlots => t.cw_slots,
             Metric::HalfCwSlots => t.half_cw_slots,
             Metric::TotalTimeUs => t.total_time_us,
@@ -100,6 +118,7 @@ impl Metric {
     /// Axis label used in table headers.
     pub fn label(self) -> &'static str {
         match self {
+            Metric::Successes => "successes",
             Metric::CwSlots => "CW slots",
             Metric::HalfCwSlots => "CW slots (n/2)",
             Metric::TotalTimeUs => "total time (µs)",
@@ -142,8 +161,36 @@ mod tests {
     }
 
     #[test]
+    fn all_lists_every_metric_exactly_once() {
+        // Exhaustive match, no wildcard: adding a `Metric` variant fails to
+        // compile here — update `Metric::ALL` in the same change.
+        fn listed(m: Metric) {
+            match m {
+                Metric::Successes
+                | Metric::CwSlots
+                | Metric::HalfCwSlots
+                | Metric::TotalTimeUs
+                | Metric::HalfTimeUs
+                | Metric::Collisions
+                | Metric::CollidingStations
+                | Metric::AckTimeouts
+                | Metric::MaxAckTimeouts
+                | Metric::MaxAckTimeoutTimeUs
+                | Metric::MedianEstimate => {}
+            }
+        }
+        for m in Metric::ALL {
+            listed(m);
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert!(!Metric::ALL[..i].contains(m), "duplicate {m:?} in ALL");
+        }
+    }
+
+    #[test]
     fn extraction_matches_fields() {
         let t = TrialSummary::from_metrics(&metrics());
+        assert_eq!(Metric::Successes.extract(&t), 2.0);
         assert_eq!(Metric::CwSlots.extract(&t), 42.0);
         assert_eq!(Metric::HalfCwSlots.extract(&t), 17.0);
         assert_eq!(Metric::TotalTimeUs.extract(&t), 1_500.0);

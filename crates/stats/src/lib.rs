@@ -12,14 +12,20 @@
 //!   slope (Figure 14's "p-value less than 0.001").
 //! * [`special`] — ln Γ, the regularized incomplete beta function, and the
 //!   Student-t CDF backing the p-values.
+//! * [`stream`] — order-independent streaming collectors
+//!   ([`stream::StreamingSample`], [`stream::Extrema`]) that feed the
+//!   pipeline above from the sweep engine's fold seam without retaining
+//!   full per-trial records.
 
 pub mod ci;
 pub mod outliers;
 pub mod regression;
 pub mod special;
+pub mod stream;
 pub mod summary;
 
 pub use ci::{bootstrap_median_ci, median_ci95};
 pub use outliers::filter_outliers;
 pub use regression::{linear_fit, LinearFit};
+pub use stream::{Extrema, StreamingSample};
 pub use summary::Summary;

@@ -1,0 +1,205 @@
+//! Streaming per-metric collectors for the sweep engine's fold seam.
+//!
+//! The engine delivers each trial's result to its cell exactly once, but in
+//! whatever order the workers finish. Both collectors here are immune to
+//! that order by construction:
+//!
+//! * [`StreamingSample`] — a position-addressed flat `f64` buffer: trial `t`
+//!   writes slot `t`, so the final buffer is in trial order bit-for-bit
+//!   regardless of scheduling. This is what feeds the paper's
+//!   outlier → median → CI pipeline, at 8 bytes per (trial, metric) instead
+//!   of a full per-trial summary.
+//! * [`Extrema`] — count / min / max in O(1) memory; min and max are exact
+//!   and commutative, so this stays deterministic too. For sweeps that only
+//!   need bounds or a completion count.
+
+/// A flat per-trial sample buffer addressed by trial index.
+///
+/// Unfilled slots hold NaN as a sentinel; [`StreamingSample::values`]
+/// asserts completeness, which doubles as an exactly-once check on the
+/// engine's delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSample {
+    values: Vec<f64>,
+}
+
+impl StreamingSample {
+    /// A buffer awaiting `trials` recordings.
+    pub fn new(trials: usize) -> StreamingSample {
+        StreamingSample {
+            values: vec![f64::NAN; trials],
+        }
+    }
+
+    /// Records trial `trial`'s value. Values must be non-NaN (every metric
+    /// is a count or a time) and each slot must be written exactly once.
+    pub fn record(&mut self, trial: usize, value: f64) {
+        assert!(!value.is_nan(), "metric values must not be NaN");
+        let slot = &mut self.values[trial];
+        assert!(slot.is_nan(), "trial {trial} recorded twice");
+        *slot = value;
+    }
+
+    /// Number of slots (trials), filled or not.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True once every trial has been recorded.
+    pub fn is_complete(&self) -> bool {
+        !self.values.iter().any(|v| v.is_nan())
+    }
+
+    /// The complete sample in trial order; panics if any trial is missing.
+    pub fn values(&self) -> &[f64] {
+        assert!(
+            self.is_complete(),
+            "sample incomplete: {} of {} trials recorded",
+            self.values.iter().filter(|v| !v.is_nan()).count(),
+            self.values.len()
+        );
+        &self.values
+    }
+
+    /// Bytes this collector retains per trial: one `f64`.
+    pub const BYTES_PER_TRIAL: usize = std::mem::size_of::<f64>();
+}
+
+/// Exact count / min / max in constant memory.
+///
+/// Every operation is commutative and exact (no floating-point rounding
+/// depends on order), so a sweep folded through `Extrema` is bit-identical
+/// across thread counts and batch sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extrema {
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Extrema {
+    fn default() -> Extrema {
+        Extrema {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Extrema {
+    pub fn new() -> Extrema {
+        Extrema::default()
+    }
+
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "metric values must not be NaN");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (+∞ before any recording).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (−∞ before any recording).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_order_independent() {
+        let mut forward = StreamingSample::new(4);
+        let mut backward = StreamingSample::new(4);
+        for t in 0..4 {
+            forward.record(t, t as f64 * 1.5);
+        }
+        for t in (0..4).rev() {
+            backward.record(t, t as f64 * 1.5);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.values(), &[0.0, 1.5, 3.0, 4.5]);
+    }
+
+    #[test]
+    fn completeness_is_tracked() {
+        let mut s = StreamingSample::new(2);
+        assert!(!s.is_complete());
+        s.record(1, 7.0);
+        assert!(!s.is_complete());
+        s.record(0, 3.0);
+        assert!(s.is_complete());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn double_recording_panics() {
+        let mut s = StreamingSample::new(2);
+        s.record(0, 1.0);
+        s.record(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn reading_an_incomplete_sample_panics() {
+        let mut s = StreamingSample::new(2);
+        s.record(0, 1.0);
+        let _ = s.values();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_values_are_rejected() {
+        let mut s = StreamingSample::new(1);
+        s.record(0, f64::NAN);
+    }
+
+    #[test]
+    fn empty_sample_is_trivially_complete() {
+        let s = StreamingSample::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_complete());
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn extrema_tracks_bounds_in_any_order() {
+        let mut a = Extrema::new();
+        let mut b = Extrema::new();
+        let values = [3.0, -1.0, 7.5, 0.0];
+        for v in values {
+            a.record(v);
+        }
+        for v in values.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.max(), 7.5);
+    }
+
+    #[test]
+    fn extrema_starts_empty() {
+        let e = Extrema::new();
+        assert_eq!(e.count(), 0);
+        assert!(e.min().is_infinite() && e.min() > 0.0);
+        assert!(e.max().is_infinite() && e.max() < 0.0);
+    }
+}

@@ -47,7 +47,10 @@ pub mod prelude {
     pub use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
     pub use contention_core::time::Nanos;
     pub use contention_mac::{simulate, MacConfig, MacRun, MacSim, Trace};
-    pub use contention_sim::engine::{cell, run_trial, Cell, Simulator, Sweep, SweepCell};
+    pub use contention_sim::engine::{
+        cell, folded, run_trial, Accumulator, Cell, ExecPolicy, FoldedCell, Simulator, Sweep,
+        SweepCell,
+    };
     pub use contention_sim::summary::{Metric, TrialSummary};
     pub use contention_slotted::noisy::{NoisyConfig, NoisySim};
     pub use contention_slotted::residual::{ResidualConfig, ResidualSim};

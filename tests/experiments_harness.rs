@@ -7,10 +7,9 @@ use std::path::PathBuf;
 
 fn tiny_options() -> Options {
     Options {
-        full: false,
         trials: Some(3),
-        out_dir: None,
         threads: Some(2),
+        ..Options::default()
     }
 }
 

@@ -55,7 +55,7 @@ fn degenerate_noisy_sweep_matches_windowed_sweep_bit_for_bit() {
         algorithms: algorithms.clone(),
         ns: ns.clone(),
         trials: 6,
-        threads: Some(4),
+        exec: ExecPolicy::threads(4),
     }
     .run();
     let windowed = Sweep::<WindowedSim> {
@@ -64,7 +64,7 @@ fn degenerate_noisy_sweep_matches_windowed_sweep_bit_for_bit() {
         algorithms,
         ns,
         trials: 6,
-        threads: Some(4),
+        exec: ExecPolicy::threads(4),
     }
     .run();
     assert_eq!(noisy.len(), windowed.len());

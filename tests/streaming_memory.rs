@@ -1,0 +1,84 @@
+//! Bounded-memory sanity check for the streaming fold path.
+//!
+//! A large-trial abstract sweep folded through an O(1)-state accumulator
+//! must not allocate anything proportional to
+//! `trials × size_of::<TrialSummary>()` — that product is exactly what the
+//! old collect-then-aggregate pipeline retained per cell and what capped
+//! the grids below the paper's n = 10⁵. A counting global allocator
+//! measures the peak heap growth during the sweep; one trial here is tiny
+//! (n = 1), so any per-trial retention would dominate the measurement.
+
+use contention_resolution::prelude::*;
+use contention_stats::stream::Extrema;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let now = CURRENT.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
+            PEAK.fetch_max(now, Ordering::SeqCst);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::SeqCst);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// O(1)-state accumulator: exact count/min/max of CW slots per cell.
+struct CwExtrema(Extrema);
+
+impl Accumulator<TrialSummary> for CwExtrema {
+    fn record(&mut self, _trial: u32, value: TrialSummary) {
+        self.0.record(value.cw_slots);
+    }
+}
+
+#[test]
+fn folded_sweep_memory_does_not_scale_with_trials() {
+    const TRIALS: u32 = 100_000;
+    let sweep = Sweep::<WindowedSim> {
+        experiment: "memory-sanity",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb],
+        ns: vec![1],
+        trials: TRIALS,
+        exec: ExecPolicy::threads(2).with_batch(256),
+    };
+
+    let baseline = CURRENT.load(Ordering::SeqCst);
+    PEAK.store(baseline, Ordering::SeqCst);
+    let cells = sweep.run_fold(|_, _, _| CwExtrema(Extrema::new()));
+    let peak_growth = PEAK.load(Ordering::SeqCst).saturating_sub(baseline);
+
+    // Every trial ran: a lone BEB station succeeds in its size-1 first
+    // window, so every trial contributes exactly one CW slot.
+    assert_eq!(cells.len(), 1);
+    assert_eq!(cells[0].acc.0.count(), TRIALS as u64);
+    assert_eq!(cells[0].acc.0.min(), 1.0);
+    assert_eq!(cells[0].acc.0.max(), 1.0);
+
+    // The old pipeline retained ≥ trials × size_of::<TrialSummary>() just
+    // for this cell; the fold path's peak must stay far below that. The
+    // bound leaves ~20× headroom over what the run transiently allocates
+    // (thread stacks are not heap; per-trial scratch is freed per trial).
+    let collect_cost = TRIALS as usize * std::mem::size_of::<TrialSummary>();
+    assert!(collect_cost > 8_000_000, "summary shrank? {collect_cost}");
+    assert!(
+        peak_growth < 2_000_000,
+        "peak heap growth {peak_growth} B suggests per-trial retention \
+         (collect path would need {collect_cost} B)"
+    );
+}

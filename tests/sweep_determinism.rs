@@ -1,13 +1,22 @@
 //! Cross-engine golden determinism: the generic `Sweep<S>` must yield
-//! byte-identical `TrialSummary` values regardless of the worker-thread
-//! count, for every simulator backend.
+//! byte-identical results regardless of the worker-thread count *and* the
+//! batch size, for every simulator backend — on both the collect path
+//! (`run`) and the streaming fold path (`run_fold`).
 //!
 //! "Byte-identical" is checked literally: every `f64` is compared by its
 //! bit pattern, not by `==`, so even a sign-of-zero or NaN-payload drift
-//! between thread counts would fail.
+//! between schedules would fail.
 
+use contention_experiments::aggregate::MetricStats;
 use contention_resolution::prelude::*;
 use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const BATCHES: [usize; 3] = [1, 16, 1024];
+
+fn exec(threads: usize, batch: usize) -> ExecPolicy {
+    ExecPolicy::threads(threads).with_batch(batch)
+}
 
 /// The bit-exact image of a `TrialSummary`.
 fn bits(t: &TrialSummary) -> Vec<u64> {
@@ -27,76 +36,110 @@ fn bits(t: &TrialSummary) -> Vec<u64> {
     ]
 }
 
-fn assert_thread_count_invariant<S: Simulator>(sweep_for: impl Fn(usize) -> Sweep<S>)
+/// `run` is invariant across the full threads × batch matrix, and
+/// `run_fold` through per-metric streaming buffers reproduces the same
+/// numbers bit-for-bit.
+fn assert_engine_invariants<S: Simulator>(sweep_for: impl Fn(ExecPolicy) -> Sweep<S>)
 where
     TrialSummary: From<S::Output>,
 {
-    let golden: Vec<Vec<Vec<u64>>> = sweep_for(1)
-        .run()
+    let golden_cells = sweep_for(exec(1, 1)).run();
+    let golden: Vec<Vec<Vec<u64>>> = golden_cells
         .iter()
         .map(|c| c.trials.iter().map(bits).collect())
         .collect();
     assert!(!golden.is_empty() && golden.iter().all(|c| !c.is_empty()));
-    for threads in [2usize, 8] {
-        let cells = sweep_for(threads).run();
-        let got: Vec<Vec<Vec<u64>>> = cells
-            .iter()
-            .map(|c| c.trials.iter().map(bits).collect())
-            .collect();
-        assert_eq!(
-            golden,
-            got,
-            "{}: results changed between 1 and {threads} worker threads",
-            S::NAME
-        );
+    for threads in THREADS {
+        for batch in BATCHES {
+            let cells = sweep_for(exec(threads, batch)).run();
+            let got: Vec<Vec<Vec<u64>>> = cells
+                .iter()
+                .map(|c| c.trials.iter().map(bits).collect())
+                .collect();
+            assert_eq!(
+                golden,
+                got,
+                "{}: run() changed at threads={threads} batch={batch}",
+                S::NAME
+            );
+
+            let folded_cells =
+                sweep_for(exec(threads, batch)).run_fold(MetricStats::collector(&Metric::ALL));
+            assert_eq!(golden_cells.len(), folded_cells.len());
+            for (cell, fold) in golden_cells.iter().zip(&folded_cells) {
+                assert_eq!((cell.algorithm, cell.n), (fold.algorithm, fold.n));
+                for metric in Metric::ALL {
+                    let expect: Vec<u64> = cell
+                        .trials
+                        .iter()
+                        .map(|t| metric.extract(t).to_bits())
+                        .collect();
+                    let got: Vec<u64> = fold
+                        .acc
+                        .sample(metric)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(
+                        expect,
+                        got,
+                        "{}: run_fold({metric:?}) diverged from run() at \
+                         threads={threads} batch={batch}, cell {}/{}",
+                        S::NAME,
+                        cell.algorithm,
+                        cell.n
+                    );
+                }
+            }
+        }
     }
 }
 
 /// The MAC (802.11g DCF) simulator through the generic engine.
 #[test]
-fn mac_sweep_is_thread_count_invariant() {
-    assert_thread_count_invariant(|threads| Sweep::<MacSim> {
+fn mac_sweep_is_schedule_invariant() {
+    assert_engine_invariants(|exec| Sweep::<MacSim> {
         experiment: "golden-mac",
         config: MacConfig::paper(AlgorithmKind::Beb, 64),
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
         ns: vec![8, 25],
         trials: 5,
-        threads: Some(threads),
+        exec,
     });
 }
 
 /// The abstract windowed simulator through the generic engine.
 #[test]
-fn windowed_sweep_is_thread_count_invariant() {
-    assert_thread_count_invariant(|threads| Sweep::<WindowedSim> {
+fn windowed_sweep_is_schedule_invariant() {
+    assert_engine_invariants(|exec| Sweep::<WindowedSim> {
         experiment: "golden-windowed",
         config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogLogBackoff],
         ns: vec![40, 120],
         trials: 5,
-        threads: Some(threads),
+        exec,
     });
 }
 
 /// The residual-timer semantics through the generic engine.
 #[test]
-fn residual_sweep_is_thread_count_invariant() {
-    assert_thread_count_invariant(|threads| Sweep::<ResidualSim> {
+fn residual_sweep_is_schedule_invariant() {
+    assert_engine_invariants(|exec| Sweep::<ResidualSim> {
         experiment: "golden-residual",
         config: ResidualConfig::paper(AlgorithmKind::LogBackoff),
         algorithms: vec![AlgorithmKind::LogBackoff],
         ns: vec![60],
         trials: 6,
-        threads: Some(threads),
+        exec,
     });
 }
 
 /// The noisy-channel (softened collisions) simulator through the generic
 /// engine. A non-trivial channel, so the recovery and noise draws themselves
-/// are exercised across thread counts.
+/// are exercised across schedules.
 #[test]
-fn noisy_sweep_is_thread_count_invariant() {
-    assert_thread_count_invariant(|threads| Sweep::<NoisySim> {
+fn noisy_sweep_is_schedule_invariant() {
+    assert_engine_invariants(|exec| Sweep::<NoisySim> {
         experiment: "golden-noisy",
         config: NoisyConfig::abstract_model(
             AlgorithmKind::Beb,
@@ -108,15 +151,15 @@ fn noisy_sweep_is_thread_count_invariant() {
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
         ns: vec![40, 120],
         trials: 5,
-        threads: Some(threads),
+        exec,
     });
 }
 
 /// The dynamic-traffic simulator has no `TrialSummary` conversion; check
-/// its raw output across thread counts instead.
+/// its raw output across the schedule matrix instead.
 #[test]
-fn dynamic_sweep_is_thread_count_invariant() {
-    let sweep_for = |threads: usize| Sweep::<DynamicSim> {
+fn dynamic_sweep_is_schedule_invariant() {
+    let sweep_for = |exec: ExecPolicy| Sweep::<DynamicSim> {
         experiment: "golden-dynamic",
         config: DynamicConfig::abstract_model(
             AlgorithmKind::Beb,
@@ -128,17 +171,19 @@ fn dynamic_sweep_is_thread_count_invariant() {
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
         ns: vec![0],
         trials: 4,
-        threads: Some(threads),
+        exec,
     };
-    let golden = sweep_for(1).run_raw();
-    for threads in [2usize, 8] {
-        let got = sweep_for(threads).run_raw();
-        for (g, r) in golden.iter().zip(&got) {
-            assert_eq!(g.algorithm, r.algorithm);
-            assert_eq!(
-                g.trials, r.trials,
-                "dynamic results changed at {threads} threads"
-            );
+    let golden = sweep_for(exec(1, 1)).run_raw();
+    for threads in THREADS {
+        for batch in BATCHES {
+            let got = sweep_for(exec(threads, batch)).run_raw();
+            for (g, r) in golden.iter().zip(&got) {
+                assert_eq!(g.algorithm, r.algorithm);
+                assert_eq!(
+                    g.trials, r.trials,
+                    "dynamic results changed at threads={threads} batch={batch}"
+                );
+            }
         }
     }
 }
@@ -153,7 +198,7 @@ fn sweeps_are_pure_functions_of_their_inputs() {
         algorithms: vec![AlgorithmKind::LogLogBackoff],
         ns: vec![20],
         trials: 4,
-        threads: None,
+        exec: ExecPolicy::default(),
     };
     let a: Vec<Vec<Vec<u64>>> = sweep
         .run()
