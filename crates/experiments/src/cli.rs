@@ -37,7 +37,33 @@ pub fn run(args: &[String]) -> ExitCode {
         for (name, desc, _) in registry() {
             println!("{name:<12} {desc}");
         }
+        println!(
+            "{:<12} benchmark harness — MAC hot path (BENCH_mac.json)",
+            "bench"
+        );
         return ExitCode::SUCCESS;
+    }
+    // Fail fast on an unusable output directory — before hours of trials,
+    // not after them (the late-error pathology `--json` used to have).
+    if let Some(dir) = &opts.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --out {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if sub == "bench" {
+        let started = std::time::Instant::now();
+        match crate::benchmark::run(&opts) {
+            Ok(report) => {
+                report.print();
+                println!("[bench] done in {:.1?}\n", started.elapsed());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let entries = registry();
@@ -82,12 +108,13 @@ pub fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--json] \
-         [--threads N] [--batch N]"
+        "usage: repro <experiment|all|list|bench> [--full] [--quick] [--trials N] [--out DIR] \
+         [--json] [--threads N] [--batch N]"
     );
     println!();
     println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds);");
     println!("              prints trials-completed progress + ETA to stderr when it is a TTY");
+    println!("  --quick     bench smoke mode: tiny iteration counts (schema checks only)");
     println!("  --trials N  override the trial count");
     println!("  --out DIR   also write CSV series to DIR");
     println!("  --json      also write JSON artifacts to DIR (needs --out)");

@@ -15,7 +15,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -33,7 +33,7 @@ fn escape(s: &str) -> String {
 
 /// A JSON number: shortest round-trip form; non-finite values (which no
 /// aggregate should produce) degrade to `null` rather than invalid JSON.
-fn num(x: f64) -> String {
+pub(crate) fn num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

@@ -26,6 +26,7 @@
 //!   workspace root package so `cargo run --bin repro` needs no `-p` flag.
 
 pub mod aggregate;
+pub mod benchmark;
 pub mod cli;
 pub mod csvout;
 pub mod figures;

@@ -20,8 +20,11 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Trials per work-item claim (`None` = auto).
     pub batch: Option<usize>,
-    /// Also write JSON series next to the CSVs (requires `--out`).
+    /// Also write JSON series next to the CSVs (requires `--out`, except for
+    /// `bench`, where `--json` alone writes `./BENCH_mac.json`).
     pub json: bool,
+    /// Bench smoke mode: tiny iteration counts, schema-only value.
+    pub quick: bool,
 }
 
 impl Options {
@@ -67,6 +70,7 @@ impl Options {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--quick" => opts.quick = true,
                 "--json" => opts.json = true,
                 "--trials" => {
                     let v = it.next().ok_or("--trials needs a value")?;
@@ -98,10 +102,29 @@ impl Options {
                 }
             }
         }
-        if opts.json && opts.out_dir.is_none() {
+        let sub = sub.ok_or("missing subcommand")?;
+        opts.validate(&sub)?;
+        Ok((sub, opts))
+    }
+
+    /// Flag-combination validation, run up front (at parse time) so a bad
+    /// combination can never surface as an error *after* a long run.
+    fn validate(&self, sub: &str) -> Result<(), String> {
+        if self.full && self.quick {
+            return Err("--full and --quick are mutually exclusive".to_string());
+        }
+        // `--quick` only means something to the bench harness; silently
+        // ignoring it elsewhere would turn an intended smoke run into a
+        // full one.
+        if self.quick && sub != "bench" {
+            return Err(format!("--quick only applies to `bench`, not {sub:?}"));
+        }
+        // `bench --json` writes ./BENCH_mac.json without needing --out;
+        // every figure needs a directory to put its JSON series in.
+        if self.json && self.out_dir.is_none() && sub != "bench" {
             return Err("--json needs --out DIR to write into".to_string());
         }
-        Ok((sub.ok_or("missing subcommand")?, opts))
+        Ok(())
     }
 }
 
@@ -143,8 +166,32 @@ mod tests {
     }
 
     #[test]
-    fn json_without_out_is_rejected() {
+    fn json_without_out_is_rejected_up_front() {
+        // The combination must fail at parse time — before any trial runs —
+        // not when the report writer finally looks for its directory.
         assert!(Options::parse(&strs(&["fig3", "--json"])).is_err());
+        assert!(Options::parse(&strs(&["all", "--json"])).is_err());
+    }
+
+    #[test]
+    fn bench_json_without_out_is_allowed() {
+        let (sub, opts) = Options::parse(&strs(&["bench", "--json"])).unwrap();
+        assert_eq!(sub, "bench");
+        assert!(opts.json);
+        assert!(opts.out_dir.is_none());
+    }
+
+    #[test]
+    fn quick_parses_and_conflicts_with_full() {
+        let (_, opts) = Options::parse(&strs(&["bench", "--quick"])).unwrap();
+        assert!(opts.quick && !opts.full);
+        assert!(Options::parse(&strs(&["bench", "--quick", "--full"])).is_err());
+    }
+
+    #[test]
+    fn quick_is_rejected_outside_bench() {
+        assert!(Options::parse(&strs(&["fig5", "--quick"])).is_err());
+        assert!(Options::parse(&strs(&["all", "--quick"])).is_err());
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod simulator;
 pub mod trace;
 
 pub use config::MacConfig;
-pub use simulator::{simulate, MacRun, MacSim};
+pub use simulator::{simulate, simulate_with, MacRun, MacScratch, MacSim};
 pub use trace::{Span, SpanKind, Trace};

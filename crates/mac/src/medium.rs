@@ -43,7 +43,7 @@ impl TxKind {
 /// A frame currently on air.
 #[derive(Debug, Clone, Copy)]
 pub struct ActiveTx {
-    pub id: u64,
+    pub id: u32,
     pub source: TxSource,
     pub kind: TxKind,
     /// Station this frame is addressed to (ACK/CTS), if any.
@@ -52,7 +52,7 @@ pub struct ActiveTx {
     /// scheduled. An ACK/CTS arriving after its station already timed out
     /// and moved on (possible when the ACK timeout is configured shorter
     /// than SIFS + ACK airtime) is detected as stale by comparing this tag.
-    pub tag: u64,
+    pub tag: u32,
     pub start: Nanos,
     pub end: Nanos,
     pub corrupted: bool,
@@ -76,12 +76,17 @@ pub struct PeriodEnd {
 }
 
 /// The medium state machine.
+///
+/// Busy-period aggregates are maintained *incrementally* — counters bumped
+/// as each frame starts and ends — so closing a period is O(1): no list of
+/// contenders is kept and nothing is rescanned. The only per-frame list is
+/// `active` (frames currently on air), which a single-cell MAC keeps tiny
+/// (one busy period's worth of overlapping frames).
 pub struct Medium {
     active: Vec<ActiveTx>,
     idle_since: Nanos,
-    /// (station, corrupted) for contending frames that *ended* during the
-    /// current busy period.
-    period_contenders: Vec<(u32, bool)>,
+    /// Contending station frames that ended corrupted this busy period.
+    period_corrupted_contenders: u32,
     period_frames: u32,
     period_corrupted_frames: u32,
 }
@@ -91,10 +96,19 @@ impl Medium {
         Medium {
             active: Vec::new(),
             idle_since: Nanos::ZERO,
-            period_contenders: Vec::new(),
+            period_corrupted_contenders: 0,
             period_frames: 0,
             period_corrupted_frames: 0,
         }
+    }
+
+    /// Clears all state for a fresh trial, keeping the `active` allocation.
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.idle_since = Nanos::ZERO;
+        self.period_corrupted_contenders = 0;
+        self.period_frames = 0;
+        self.period_corrupted_frames = 0;
     }
 
     pub fn is_busy(&self) -> bool {
@@ -127,7 +141,7 @@ impl Medium {
 
     /// Removes a finished frame. Returns it plus, when the medium just went
     /// idle, the busy-period summary.
-    pub fn end_tx(&mut self, id: u64, now: Nanos) -> (ActiveTx, Option<PeriodEnd>) {
+    pub fn end_tx(&mut self, id: u32, now: Nanos) -> (ActiveTx, Option<PeriodEnd>) {
         let idx = self
             .active
             .iter()
@@ -135,26 +149,20 @@ impl Medium {
             .expect("ending a frame that is not on air");
         let tx = self.active.swap_remove(idx);
         debug_assert_eq!(tx.end, now, "frame ended at the wrong time");
-        if tx.kind.contends() {
-            if let TxSource::Station(s) = tx.source {
-                self.period_contenders.push((s, tx.corrupted));
-            }
-        }
         if tx.corrupted {
+            if tx.kind.contends() && matches!(tx.source, TxSource::Station(_)) {
+                self.period_corrupted_contenders += 1;
+            }
             self.period_corrupted_frames += 1;
         }
         if self.active.is_empty() {
             self.idle_since = now;
             let summary = PeriodEnd {
-                corrupted_contenders: self
-                    .period_contenders
-                    .iter()
-                    .filter(|&&(_, corrupted)| corrupted)
-                    .count() as u32,
+                corrupted_contenders: self.period_corrupted_contenders,
                 frames: self.period_frames,
                 corrupted_frames: self.period_corrupted_frames,
             };
-            self.period_contenders.clear();
+            self.period_corrupted_contenders = 0;
             self.period_frames = 0;
             self.period_corrupted_frames = 0;
             (tx, Some(summary))
@@ -179,7 +187,7 @@ impl Default for Medium {
 mod tests {
     use super::*;
 
-    fn tx(id: u64, station: u32, kind: TxKind, start: u64, end: u64) -> ActiveTx {
+    fn tx(id: u32, station: u32, kind: TxKind, start: u64, end: u64) -> ActiveTx {
         ActiveTx {
             id,
             source: TxSource::Station(station),
@@ -335,7 +343,7 @@ mod proptests {
             let mut m = Medium::new();
             for id in 0..k {
                 m.start_tx(ActiveTx {
-                    id: id as u64,
+                    id,
                     source: TxSource::Station(id),
                     kind: TxKind::Data,
                     for_station: None,
@@ -348,7 +356,7 @@ mod proptests {
             }
             let mut last_period = None;
             for id in 0..k {
-                let (tx, period) = m.end_tx(id as u64, Nanos::from_micros(10));
+                let (tx, period) = m.end_tx(id, Nanos::from_micros(10));
                 prop_assert_eq!(tx.corrupted, k >= 2);
                 if id + 1 == k {
                     last_period = period;
@@ -373,7 +381,7 @@ mod proptests {
                 let start = Nanos::from_micros(t);
                 let end = Nanos::from_micros(t + 10);
                 let became_busy = m.start_tx(ActiveTx {
-                    id: i as u64,
+                    id: i as u32,
                     source: TxSource::Station(i as u32),
                     kind: TxKind::Data,
                     for_station: None,
@@ -384,7 +392,7 @@ mod proptests {
                     overlaps: 0,
                 });
                 prop_assert!(became_busy);
-                let (tx, period) = m.end_tx(i as u64, end);
+                let (tx, period) = m.end_tx(i as u32, end);
                 prop_assert!(!tx.corrupted);
                 prop_assert_eq!(period.expect("idle again").corrupted_contenders, 0);
                 t += 10 + gap;

@@ -24,7 +24,7 @@ use contention_core::algorithm::AlgorithmKind;
 use contention_core::metrics::{BatchMetrics, StationMetrics};
 use contention_core::schedule::{Schedule, WindowSchedule};
 use contention_core::time::Nanos;
-use contention_sim::event::EventQueue;
+use contention_sim::event::{EventQueue, EventToken};
 use rand::Rng;
 
 /// Result of one MAC trial.
@@ -44,23 +44,23 @@ pub struct MacRun {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// The medium has been idle for a DIFS: resume every waiting station.
-    GlobalDifs { gen: u64 },
+    GlobalDifs { gen: u32 },
     /// One station's personal DIFS completed (post-ACK-timeout rejoin).
-    PersonalDifs { station: u32, gen: u64 },
+    PersonalDifs { station: u32, gen: u32 },
     /// A station's backoff countdown expired: transmit.
-    BackoffExpire { station: u32, gen: u64 },
+    BackoffExpire { station: u32, gen: u32 },
     /// A frame left the air.
-    TxEnd { id: u64 },
+    TxEnd { id: u32 },
     /// The AP starts an ACK (SIFS after a clean data frame). `tag` is the
     /// addressee's attempt generation at scheduling time, so a late ACK for
     /// an abandoned attempt is detectably stale.
-    AckStart { station: u32, tag: u64 },
+    AckStart { station: u32, tag: u32 },
     /// The AP starts a CTS (SIFS after a clean RTS).
-    CtsStart { station: u32, tag: u64 },
+    CtsStart { station: u32, tag: u32 },
     /// The station starts its data frame (SIFS after receiving CTS).
     DataStart { station: u32 },
     /// The sender gives up waiting for an ACK/CTS: diagnose a collision.
-    AckTimeout { station: u32, gen: u64 },
+    AckTimeout { station: u32, gen: u32 },
     /// Boundary of a BEST-OF-k probe round.
     EstimationRound,
 }
@@ -95,21 +95,69 @@ struct Station {
     expiry_at: Nanos,
     /// When the current countdown (re)started (valid in `Backoff`).
     resume_at: Nanos,
-    /// Invalidates this station's scheduled events.
-    gen: u64,
+    /// Invalidates this station's scheduled events. `u32` keeps queue
+    /// entries at 32 bytes; a station cannot make 2^32 attempts in one
+    /// trial (each consumes ≥ one 9 µs slot, far beyond any `max_sim_time`).
+    gen: u32,
+    /// Token of this station's single pending self-event (backoff expiry,
+    /// personal DIFS, or ACK/CTS timeout), for O(log n) cancellation when
+    /// the event dies (freeze, resume, ACK arrival). The `gen` checks stay
+    /// as a second line of defence; with eager cancellation they never
+    /// trigger for these events.
+    timer: Option<EventToken>,
     estim: Option<EstimState>,
     estimate: Option<u32>,
     metrics: StationMetrics,
+}
+
+/// Reusable per-worker arena for [`simulate_with`]: the event queue slab,
+/// the medium buffers and the station table survive from trial to trial at
+/// their high-water capacity, so steady-state trials allocate nothing but
+/// their output. Resetting is O(previous trial's live state); a fresh
+/// (`Default`) arena behaves identically — reuse may only move memory,
+/// never results (`tests/hot_path_golden.rs` pins this bit-for-bit).
+#[derive(Default)]
+pub struct MacScratch {
+    queue: EventQueue<Event>,
+    medium: Medium,
+    stations: Vec<Station>,
+    /// Stations currently counting down (`State::Backoff`), in resume
+    /// order; drained (frozen) when the medium turns busy. Replaces an
+    /// every-station state scan per busy period.
+    backoff_list: Vec<u32>,
+    /// Stations in `State::WaitDifs` awaiting the next global DIFS, plus
+    /// (possibly stale) entries for personal-DIFS waiters; sorted before
+    /// each resume pass so stations resume in station order, exactly like
+    /// the `0..n` scan it replaces.
+    resume_list: Vec<u32>,
+    /// Stations that *may* hold a pending personal-DIFS event, so a busy
+    /// start can cancel just those instead of scanning everyone. Entries
+    /// go stale when the station resumes first; the state guard skips them.
+    pdifs_list: Vec<u32>,
+}
+
+impl MacScratch {
+    fn reset(&mut self) {
+        self.queue.reset();
+        self.medium.reset();
+        self.stations.clear();
+        self.backoff_list.clear();
+        self.resume_list.clear();
+        self.pdifs_list.clear();
+    }
 }
 
 struct Sim<'a, R: Rng> {
     config: &'a MacConfig,
     rng: &'a mut R,
     n: u32,
-    queue: EventQueue<Event>,
-    medium: Medium,
-    stations: Vec<Station>,
-    next_tx_id: u64,
+    queue: &'a mut EventQueue<Event>,
+    medium: &'a mut Medium,
+    stations: &'a mut Vec<Station>,
+    backoff_list: &'a mut Vec<u32>,
+    resume_list: &'a mut Vec<u32>,
+    pdifs_list: &'a mut Vec<u32>,
+    next_tx_id: u32,
     /// Stations currently in `Backoff`.
     counting: u32,
     /// Open global CW interval start, if any.
@@ -117,7 +165,25 @@ struct Sim<'a, R: Rng> {
     /// Accumulated global CW time.
     cw_time: Nanos,
     /// Invalidates the pending GlobalDifs.
-    difs_gen: u64,
+    difs_gen: u32,
+    /// Token of the pending GlobalDifs, cancelled when the medium turns
+    /// busy instead of left to pop stale.
+    global_difs: Option<EventToken>,
+    /// Instant of the most recent global-DIFS resume pass. Every station
+    /// resumed by that pass shares it as `resume_at`, so the slots it
+    /// consumed before a freeze — `(busy_start - resume_at) / slot` — are
+    /// identical across the batch and the division is done once per busy
+    /// period instead of once per frozen station.
+    interval_start: Nanos,
+    /// Smallest backoff expiry holding a *real* queue event in the current
+    /// idle interval. A station resuming with a later expiry provably
+    /// cannot transmit this interval (the earlier expiry starts a busy
+    /// period first, freezing it), so its timer stays *virtual* — state
+    /// fields only, no heap entry. Only prefix minima (and exact ties, so
+    /// simultaneous transmissions still collide) get queue events; omitting
+    /// the others cannot reorder the surviving schedule calls, so FIFO
+    /// tie-breaking — and therefore every outcome — is unchanged.
+    interval_min: Nanos,
     /// Softened-collision state for the current busy period. The collision
     /// is resolved *once per period*, at the first corrupted data frame to
     /// end, mirroring `ChannelModel::sample_slot`: one noise draw, one
@@ -147,7 +213,19 @@ struct Sim<'a, R: Rng> {
 
 /// Runs one single-batch trial. Deterministic for a given `(config, n, rng)`.
 pub fn simulate<R: Rng>(config: &MacConfig, n: u32, rng: &mut R) -> MacRun {
-    let mut sim = Sim::new(config, n, rng);
+    simulate_with(config, n, rng, &mut MacScratch::default())
+}
+
+/// [`simulate`] on a caller-owned [`MacScratch`] arena — what the sweep
+/// engine calls, with one arena per worker. Bit-identical to `simulate`.
+pub fn simulate_with<R: Rng>(
+    config: &MacConfig,
+    n: u32,
+    rng: &mut R,
+    scratch: &mut MacScratch,
+) -> MacRun {
+    scratch.reset();
+    let mut sim = Sim::new(config, n, rng, scratch);
     sim.init();
     sim.run();
     sim.finish()
@@ -160,6 +238,7 @@ pub struct MacSim;
 impl contention_sim::engine::Simulator for MacSim {
     type Config = MacConfig;
     type Output = MacRun;
+    type Scratch = MacScratch;
     const NAME: &'static str = "mac";
 
     fn algorithm(config: &MacConfig) -> AlgorithmKind {
@@ -173,8 +252,13 @@ impl contention_sim::engine::Simulator for MacSim {
         }
     }
 
-    fn run(config: &MacConfig, n: u32, rng: &mut rand::rngs::SmallRng) -> MacRun {
-        simulate(config, n, rng)
+    fn run_with(
+        config: &MacConfig,
+        n: u32,
+        rng: &mut rand::rngs::SmallRng,
+        scratch: &mut MacScratch,
+    ) -> MacRun {
+        simulate_with(config, n, rng, scratch)
     }
 }
 
@@ -186,19 +270,38 @@ impl From<MacRun> for contention_sim::summary::TrialSummary {
 }
 
 impl<'a, R: Rng> Sim<'a, R> {
-    fn new(config: &'a MacConfig, n: u32, rng: &'a mut R) -> Sim<'a, R> {
+    fn new(
+        config: &'a MacConfig,
+        n: u32,
+        rng: &'a mut R,
+        scratch: &'a mut MacScratch,
+    ) -> Sim<'a, R> {
+        let MacScratch {
+            queue,
+            medium,
+            stations,
+            backoff_list,
+            resume_list,
+            pdifs_list,
+        } = scratch;
         Sim {
             config,
             rng,
             n,
-            queue: EventQueue::new(),
-            medium: Medium::new(),
-            stations: Vec::new(),
+            queue,
+            medium,
+            stations,
+            backoff_list,
+            resume_list,
+            pdifs_list,
             next_tx_id: 0,
             counting: 0,
             cw_open_at: None,
             cw_time: Nanos::ZERO,
             difs_gen: 0,
+            global_difs: None,
+            interval_start: Nanos::MAX,
+            interval_min: Nanos::MAX,
             capture_winner: None,
             period_corrupted_data: 0,
             successes: 0,
@@ -214,7 +317,12 @@ impl<'a, R: Rng> Sim<'a, R> {
             estimating: 0,
             round_index: 0,
             round_had_busy: false,
-            trace: config.capture_trace.then(|| Trace::new(n)),
+            trace: config.capture_trace.then(|| {
+                let mut trace = Trace::new(n);
+                // Typical span volume: a handful per station-attempt.
+                trace.spans.reserve(16 * n as usize);
+                trace
+            }),
         }
     }
 
@@ -229,6 +337,7 @@ impl<'a, R: Rng> Sim<'a, R> {
                 expiry_at: Nanos::MAX,
                 resume_at: Nanos::ZERO,
                 gen: 0,
+                timer: None,
                 estim: None,
                 estimate: None,
                 metrics: StationMetrics::default(),
@@ -238,6 +347,7 @@ impl<'a, R: Rng> Sim<'a, R> {
                 station.estim = Some(EstimState::new(spec));
                 self.estimating += 1;
             } else {
+                self.resume_list.push(self.stations.len() as u32);
                 let mut schedule = self
                     .config
                     .algorithm
@@ -252,10 +362,10 @@ impl<'a, R: Rng> Sim<'a, R> {
         if best_of_k.is_some() {
             self.queue.schedule(Nanos::ZERO, Event::EstimationRound);
         } else if self.n > 0 {
-            self.queue.schedule(
+            self.global_difs = Some(self.queue.schedule(
                 self.config.phy.difs,
                 Event::GlobalDifs { gen: self.difs_gen },
-            );
+            ));
         }
     }
 
@@ -282,7 +392,13 @@ impl<'a, R: Rng> Sim<'a, R> {
     }
 
     fn finish(self) -> MacRun {
-        let now = self.queue.now();
+        // A truncated run reports the valve instant, not "whenever the next
+        // event happened to be". (Pre-overhaul code reported the timestamp
+        // of the first event past the valve — which could be a *dead*,
+        // generation-stale event, making the figure depend on queue
+        // internals. Completed runs are unaffected: they use the recorded
+        // totals below.)
+        let now = Nanos::min(self.queue.now(), self.config.max_sim_time);
         let cw_slots = if self.done {
             self.final_cw_slots
         } else {
@@ -301,7 +417,15 @@ impl<'a, R: Rng> Sim<'a, R> {
                 colliding_stations: self.colliding_stations,
                 stations: self.stations.iter().map(|s| s.metrics).collect(),
             },
-            estimates: self.stations.iter().map(|s| s.estimate).collect(),
+            // Only BEST-OF-k runs carry estimates; every other workload
+            // keeps this empty — no per-trial `Vec<Option<u32>>` on the
+            // paper's hot paths (`TrialSummary::with_estimates` treats
+            // "empty" and "all None" identically).
+            estimates: if self.config.best_of_k().is_some() {
+                self.stations.iter().map(|s| s.estimate).collect()
+            } else {
+                Vec::new()
+            },
             probe_corruptions: self.probe_corruptions,
             trace: self.trace,
         }
@@ -339,8 +463,19 @@ impl<'a, R: Rng> Sim<'a, R> {
         s.gen += 1;
         let gen = s.gen;
         let at = s.expiry_at;
-        self.queue
-            .schedule(at, Event::BackoffExpire { station, gen });
+        // A pending personal DIFS dies here (the global DIFS beat it).
+        if let Some(t) = s.timer.take() {
+            self.queue.cancel(t);
+        }
+        if at <= self.interval_min {
+            // A (co-)minimum so far: this expiry can actually fire.
+            self.interval_min = at;
+            let token = self
+                .queue
+                .schedule(at, Event::BackoffExpire { station, gen });
+            self.stations[station as usize].timer = Some(token);
+        }
+        self.backoff_list.push(station);
         self.counting += 1;
         if self.counting == 1 {
             debug_assert!(self.cw_open_at.is_none());
@@ -367,28 +502,71 @@ impl<'a, R: Rng> Sim<'a, R> {
     fn handle_busy_start(&mut self, now: Nanos) {
         self.close_cw_interval(now);
         self.difs_gen += 1;
+        if let Some(t) = self.global_difs.take() {
+            self.queue.cancel(t);
+        }
+        // Any backoff event still pending either fires at exactly `now`
+        // (not frozen below) or belongs to a frozen station and is
+        // cancelled below; the next idle interval starts fresh.
+        self.interval_min = Nanos::MAX;
         self.round_had_busy = true;
         let slot = self.config.phy.slot;
+        // Shared by every station the last global DIFS resumed.
+        let batch_consumed = if self.interval_start <= now {
+            (now - self.interval_start).div_floor(slot)
+        } else {
+            0
+        };
         let mut frozen = 0u32;
-        for s in &mut self.stations {
-            match s.state {
-                State::Backoff if s.expiry_at > now => {
-                    let consumed = (now - s.resume_at).div_floor(slot);
-                    debug_assert!(consumed < s.remaining || s.remaining == 0);
-                    s.remaining -= consumed.min(s.remaining);
-                    s.metrics.backoff_slots += consumed;
-                    s.gen += 1;
-                    s.state = State::WaitDifs;
-                    frozen += 1;
+        // Kill pending personal DIFS events (rare); the global DIFS after
+        // this busy period resumes those stations instead. Entries whose
+        // station already resumed are stale — the state guard skips them
+        // (their `timer` now belongs to the countdown, not a DIFS).
+        for i in 0..self.pdifs_list.len() {
+            let station = self.pdifs_list[i];
+            let s = &mut self.stations[station as usize];
+            if s.state == State::WaitDifs {
+                if let Some(t) = s.timer.take() {
+                    self.queue.cancel(t);
                 }
-                State::WaitDifs => {
-                    // Kill any pending personal DIFS; the global DIFS after
-                    // this busy period will resume the station.
-                    s.gen += 1;
-                }
-                _ => {}
             }
         }
+        self.pdifs_list.clear();
+        // Freeze the countdown set: only stations in `backoff_list` can be
+        // in `State::Backoff`, so nobody else needs to be touched. A
+        // station whose expiry is exactly `now` is *not* frozen — it could
+        // not have sensed a transmission that starts in the same instant
+        // (its pending event fires during this busy period and it
+        // transmits into the pileup), which is precisely how collisions
+        // happen. The firing station itself is already `Transmitting`.
+        for i in 0..self.backoff_list.len() {
+            let station = self.backoff_list[i];
+            let s = &mut self.stations[station as usize];
+            if s.state != State::Backoff || s.expiry_at <= now {
+                continue;
+            }
+            let consumed = if s.resume_at == self.interval_start {
+                batch_consumed
+            } else {
+                // Mid-interval joiner with its own slot phase.
+                (now - s.resume_at).div_floor(slot)
+            };
+            debug_assert_eq!(consumed, (now - s.resume_at).div_floor(slot));
+            debug_assert!(consumed < s.remaining || s.remaining == 0);
+            s.remaining -= consumed.min(s.remaining);
+            s.metrics.backoff_slots += consumed;
+            s.gen += 1;
+            s.state = State::WaitDifs;
+            // The expiry is dead: remove it instead of letting it pop
+            // stale (80 % of all queue traffic before this). Most frozen
+            // stations hold only a *virtual* timer (no heap entry at all).
+            if let Some(t) = s.timer.take() {
+                self.queue.cancel(t);
+            }
+            self.resume_list.push(station);
+            frozen += 1;
+        }
+        self.backoff_list.clear();
         self.counting -= frozen;
     }
 
@@ -397,6 +575,7 @@ impl<'a, R: Rng> Sim<'a, R> {
         let difs = self.config.phy.difs;
         if self.medium.is_busy() {
             self.stations[station as usize].state = State::WaitDifs;
+            self.resume_list.push(station);
             return;
         }
         let ready = Nanos::max(now, self.medium.idle_since() + difs);
@@ -404,11 +583,23 @@ impl<'a, R: Rng> Sim<'a, R> {
         if ready == now {
             self.resume_countdown(station, now);
         } else {
+            // Waiting out a personal DIFS. The station is also listed for
+            // the next global DIFS: whichever fires first resumes it (a
+            // global DIFS implies at least DIFS of idle, so it can only
+            // coincide with or precede `ready`, never skip ahead of it).
+            self.resume_list.push(station);
+            self.pdifs_list.push(station);
             let s = &mut self.stations[station as usize];
             s.gen += 1;
             let gen = s.gen;
-            self.queue
+            debug_assert!(
+                s.timer.is_none(),
+                "station re-entering DIFS with a live timer"
+            );
+            let token = self
+                .queue
                 .schedule(ready, Event::PersonalDifs { station, gen });
+            self.stations[station as usize].timer = Some(token);
         }
     }
 
@@ -436,9 +627,9 @@ impl<'a, R: Rng> Sim<'a, R> {
         source: TxSource,
         kind: TxKind,
         for_station: Option<u32>,
-        tag: u64,
+        tag: u32,
         duration: Nanos,
-    ) -> u64 {
+    ) -> u32 {
         let now = self.queue.now();
         let id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -476,32 +667,47 @@ impl<'a, R: Rng> Sim<'a, R> {
     // Event handlers
     // ------------------------------------------------------------------
 
-    fn on_global_difs(&mut self, gen: u64) {
+    fn on_global_difs(&mut self, gen: u32) {
+        self.global_difs = None;
         if gen != self.difs_gen {
             return;
         }
         debug_assert!(!self.medium.is_busy(), "GlobalDifs fired while busy");
         let now = self.queue.now();
-        for station in 0..self.n {
+        // Stations must resume in station order — tied backoff expiries pop
+        // FIFO, so resume order decides who transmits first in a pileup.
+        // The list is mostly sorted already (frozen in station order);
+        // out-of-order entries come only from mid-period retries.
+        let mut list = std::mem::take(self.resume_list);
+        list.sort_unstable();
+        self.interval_start = now;
+        for &station in &list {
             if self.stations[station as usize].state == State::WaitDifs {
                 self.resume_countdown(station, now);
             }
         }
+        list.clear();
+        *self.resume_list = list;
     }
 
-    fn on_personal_difs(&mut self, station: u32, gen: u64) {
+    fn on_personal_difs(&mut self, station: u32, gen: u32) {
         if gen != self.stations[station as usize].gen {
             return;
         }
+        self.stations[station as usize].timer = None;
         debug_assert!(!self.medium.is_busy(), "PersonalDifs fired while busy");
+        // Resuming here, not via the global DIFS: drop the list entry so
+        // the next resume pass cannot resume this station twice.
+        self.resume_list.retain(|&st| st != station);
         let now = self.queue.now();
         self.resume_countdown(station, now);
     }
 
-    fn on_backoff_expire(&mut self, station: u32, gen: u64) {
+    fn on_backoff_expire(&mut self, station: u32, gen: u32) {
         if gen != self.stations[station as usize].gen {
             return;
         }
+        self.stations[station as usize].timer = None;
         let now = self.queue.now();
         debug_assert_eq!(self.stations[station as usize].state, State::Backoff);
         debug_assert_eq!(self.stations[station as usize].expiry_at, now);
@@ -521,7 +727,7 @@ impl<'a, R: Rng> Sim<'a, R> {
         self.start_frame(TxSource::Station(station), kind, None, tag, duration);
     }
 
-    fn on_tx_end(&mut self, id: u64) {
+    fn on_tx_end(&mut self, id: u32) {
         let now = self.queue.now();
         let (tx, period) = self.medium.end_tx(id, now);
         if let Some(p) = period {
@@ -532,8 +738,10 @@ impl<'a, R: Rng> Sim<'a, R> {
             } else {
                 self.config.phy.difs
             };
-            self.queue
-                .schedule(now + ifs, Event::GlobalDifs { gen: self.difs_gen });
+            self.global_difs = Some(
+                self.queue
+                    .schedule(now + ifs, Event::GlobalDifs { gen: self.difs_gen }),
+            );
             if p.corrupted_contenders >= 2 {
                 self.collisions += 1;
                 self.colliding_stations += p.corrupted_contenders as u64;
@@ -624,10 +832,11 @@ impl<'a, R: Rng> Sim<'a, R> {
         let s = &mut self.stations[station as usize];
         s.state = State::AwaitingAck;
         let gen = s.gen;
-        self.queue.schedule(
+        let token = self.queue.schedule(
             now + self.config.phy.ack_timeout,
             Event::AckTimeout { station, gen },
         );
+        self.stations[station as usize].timer = Some(token);
     }
 
     fn on_rts_end(&mut self, tx: &ActiveTx) {
@@ -644,13 +853,14 @@ impl<'a, R: Rng> Sim<'a, R> {
         let s = &mut self.stations[station as usize];
         s.state = State::AwaitingCts;
         let gen = s.gen;
-        self.queue.schedule(
+        let token = self.queue.schedule(
             now + self.config.phy.ack_timeout,
             Event::AckTimeout { station, gen },
         );
+        self.stations[station as usize].timer = Some(token);
     }
 
-    fn on_cts_start(&mut self, station: u32, tag: u64) {
+    fn on_cts_start(&mut self, station: u32, tag: u32) {
         self.start_frame(
             TxSource::AccessPoint,
             TxKind::Cts,
@@ -671,7 +881,11 @@ impl<'a, R: Rng> Sim<'a, R> {
         if s.gen != tx.tag || s.state != State::AwaitingCts {
             return; // Stale CTS: the sender already timed out and moved on.
         }
-        s.gen += 1; // Cancel the CTS timeout.
+        s.gen += 1; // Invalidate the CTS timeout...
+        if let Some(t) = s.timer.take() {
+            self.queue.cancel(t); // ...and remove it from the heap.
+        }
+        let s = &mut self.stations[station as usize];
         s.state = State::PreparingData;
         self.queue
             .schedule(now + self.config.phy.sifs, Event::DataStart { station });
@@ -692,7 +906,7 @@ impl<'a, R: Rng> Sim<'a, R> {
         );
     }
 
-    fn on_ack_start(&mut self, station: u32, tag: u64) {
+    fn on_ack_start(&mut self, station: u32, tag: u32) {
         // The AP owns the SIFS window; it transmits without sensing.
         self.start_frame(
             TxSource::AccessPoint,
@@ -717,7 +931,11 @@ impl<'a, R: Rng> Sim<'a, R> {
             // — the §V-B "ACK-timeout below threshold" pathology.
             return;
         }
-        s.gen += 1; // Cancel the ACK timeout.
+        s.gen += 1; // Invalidate the ACK timeout...
+        if let Some(t) = s.timer.take() {
+            self.queue.cancel(t); // ...and remove it from the heap.
+        }
+        let s = &mut self.stations[station as usize];
         s.state = State::Done;
         s.metrics.success_time = Some(now);
         self.successes += 1;
@@ -732,10 +950,11 @@ impl<'a, R: Rng> Sim<'a, R> {
         }
     }
 
-    fn on_ack_timeout(&mut self, station: u32, gen: u64) {
+    fn on_ack_timeout(&mut self, station: u32, gen: u32) {
         if gen != self.stations[station as usize].gen {
             return;
         }
+        self.stations[station as usize].timer = None;
         let now = self.queue.now();
         let timeout = self.config.phy.ack_timeout;
         {

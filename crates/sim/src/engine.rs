@@ -41,7 +41,8 @@ use rand::rngs::SmallRng;
 /// One execution backend: everything [`Sweep`] needs to run trials of it.
 ///
 /// Implementations are zero-sized entry points (trial state lives inside
-/// `run`), so a `Sweep<S>` is fully described by its config and grid.
+/// `run_with`'s scratch arena), so a `Sweep<S>` is fully described by its
+/// config and grid.
 pub trait Simulator {
     /// Full per-trial configuration, including the algorithm under test.
     type Config: Clone + Send + Sync;
@@ -49,6 +50,12 @@ pub trait Simulator {
     /// [`Sweep::run`] and [`Sweep::run_fold`]; the rest use
     /// [`Sweep::run_raw`] / [`Sweep::run_fold_raw`].
     type Output: Send;
+    /// Reusable per-worker scratch arena: event queues, station tables,
+    /// occupancy buffers — everything a trial needs that is not part of its
+    /// output. The engine builds one per worker thread and threads it
+    /// through every trial that worker claims, so steady-state trials don't
+    /// touch the allocator. Backends without reusable state use `()`.
+    type Scratch: Default + Send;
 
     /// Short name used in diagnostics.
     const NAME: &'static str;
@@ -60,9 +67,21 @@ pub trait Simulator {
     /// each cell's config from its base config.
     fn with_algorithm(config: &Self::Config, algorithm: AlgorithmKind) -> Self::Config;
 
-    /// One trial of `n` stations. Must be a pure function of
-    /// `(config, n, rng)` — determinism of every sweep rests on this.
-    fn run(config: &Self::Config, n: u32, rng: &mut SmallRng) -> Self::Output;
+    /// One trial of `n` stations, using (and resetting) `scratch`. Must be
+    /// a pure function of `(config, n, rng)` — the scratch arena may only
+    /// affect *where* intermediate state lives, never a single output bit;
+    /// determinism of every sweep rests on this.
+    fn run_with(
+        config: &Self::Config,
+        n: u32,
+        rng: &mut SmallRng,
+        scratch: &mut Self::Scratch,
+    ) -> Self::Output;
+
+    /// One trial on a fresh scratch arena (single-shot callers).
+    fn run(config: &Self::Config, n: u32, rng: &mut SmallRng) -> Self::Output {
+        Self::run_with(config, n, rng, &mut Self::Scratch::default())
+    }
 }
 
 /// Runs a single trial with the canonical RNG derivation.
@@ -75,9 +94,22 @@ pub fn run_trial<S: Simulator>(
     n: u32,
     trial: u32,
 ) -> S::Output {
+    run_trial_with::<S>(experiment, config, n, trial, &mut S::Scratch::default())
+}
+
+/// [`run_trial`] on a caller-owned scratch arena — what a caller measuring
+/// or running many trials should use, mirroring the engine's per-worker
+/// arena reuse. Bit-identical to `run_trial`.
+pub fn run_trial_with<S: Simulator>(
+    experiment: &str,
+    config: &S::Config,
+    n: u32,
+    trial: u32,
+    scratch: &mut S::Scratch,
+) -> S::Output {
     let algorithm = S::algorithm(config);
     let mut rng = trial_rng(experiment_tag(experiment), algorithm, n, trial);
-    S::run(config, n, &mut rng)
+    S::run_with(config, n, &mut rng, scratch)
 }
 
 /// A per-cell streaming reducer: the engine folds each trial's result into
@@ -236,19 +268,26 @@ impl<S: Simulator> Sweep<S> {
             let progress = Progress::new(total, self.exec.progress);
             let base = self.config.clone();
             // The work item for global index g is (cell g / trials,
-            // trial g % trials) — computed, never stored.
-            parallel_for_batches(total, threads, batch, |range| {
-                for g in range {
-                    let cell_index = g / trials;
-                    let trial = (g % trials) as u32;
-                    let (alg, n) = grid[cell_index];
-                    let config = S::with_algorithm(&base, alg);
-                    let mut rng = trial_rng(tag, alg, n, trial);
-                    let value = map(S::run(&config, n, &mut rng));
-                    accumulators[cell_index].lock().record(trial, value);
-                    progress.tick();
-                }
-            });
+            // trial g % trials) — computed, never stored. Each worker owns
+            // one scratch arena for its whole share of the sweep.
+            parallel_for_batches(
+                total,
+                threads,
+                batch,
+                S::Scratch::default,
+                |range, scratch| {
+                    for g in range {
+                        let cell_index = g / trials;
+                        let trial = (g % trials) as u32;
+                        let (alg, n) = grid[cell_index];
+                        let config = S::with_algorithm(&base, alg);
+                        let mut rng = trial_rng(tag, alg, n, trial);
+                        let value = map(S::run_with(&config, n, &mut rng, scratch));
+                        accumulators[cell_index].lock().record(trial, value);
+                        progress.tick();
+                    }
+                },
+            );
             progress.finish();
         }
         grid.into_iter()
@@ -384,6 +423,9 @@ mod tests {
     impl Simulator for ToySim {
         type Config = ToyConfig;
         type Output = BatchMetrics;
+        /// Trials-served counter: proves the engine hands one arena to each
+        /// worker and reuses it across that worker's whole share.
+        type Scratch = u64;
         const NAME: &'static str = "toy";
 
         fn algorithm(config: &ToyConfig) -> AlgorithmKind {
@@ -397,7 +439,13 @@ mod tests {
             }
         }
 
-        fn run(config: &ToyConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+        fn run_with(
+            config: &ToyConfig,
+            n: u32,
+            rng: &mut SmallRng,
+            scratch: &mut u64,
+        ) -> BatchMetrics {
+            *scratch += 1;
             BatchMetrics {
                 n,
                 successes: n,
@@ -547,6 +595,67 @@ mod tests {
         let mut sweep = toy_sweep(ExecPolicy::threads(1));
         sweep.algorithms = vec![AlgorithmKind::Beb, AlgorithmKind::Beb];
         let _ = sweep.run();
+    }
+
+    /// `Default` bumps a global counter, so a test can count how many
+    /// arenas the engine actually builds.
+    struct CountedScratch;
+    static SCRATCH_BUILDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    impl Default for CountedScratch {
+        fn default() -> CountedScratch {
+            SCRATCH_BUILDS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            CountedScratch
+        }
+    }
+
+    struct ScratchySim;
+
+    impl Simulator for ScratchySim {
+        type Config = ToyConfig;
+        type Output = BatchMetrics;
+        type Scratch = CountedScratch;
+        const NAME: &'static str = "scratchy";
+
+        fn algorithm(config: &ToyConfig) -> AlgorithmKind {
+            config.algorithm
+        }
+
+        fn with_algorithm(config: &ToyConfig, algorithm: AlgorithmKind) -> ToyConfig {
+            ToyConfig {
+                algorithm,
+                ..*config
+            }
+        }
+
+        fn run_with(
+            config: &ToyConfig,
+            n: u32,
+            rng: &mut SmallRng,
+            _scratch: &mut CountedScratch,
+        ) -> BatchMetrics {
+            ToySim::run(config, n, rng)
+        }
+    }
+
+    #[test]
+    fn sequential_sweep_builds_exactly_one_scratch_arena() {
+        let sweep = Sweep::<ScratchySim> {
+            experiment: "engine-scratch",
+            config: ToyConfig {
+                algorithm: AlgorithmKind::Beb,
+                scale: 1,
+            },
+            algorithms: vec![AlgorithmKind::Beb],
+            ns: vec![5, 10],
+            trials: 16,
+            exec: ExecPolicy::threads(1),
+        };
+        let before = SCRATCH_BUILDS.load(std::sync::atomic::Ordering::SeqCst);
+        let cells = sweep.run();
+        let built = SCRATCH_BUILDS.load(std::sync::atomic::Ordering::SeqCst) - before;
+        assert_eq!(cells.len(), 2);
+        assert_eq!(built, 1, "32 sequential trials must share one arena");
     }
 
     #[test]

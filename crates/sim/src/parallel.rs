@@ -29,12 +29,19 @@ pub fn auto_batch(total: usize, threads: usize) -> usize {
 /// Runs `work` over every contiguous batch of `0..total`, on up to
 /// `threads` workers claiming `batch`-sized ranges from an atomic cursor.
 ///
+/// Each worker owns a `state` built once by `init` and threaded through all
+/// of its batches — the engine parks per-trial scratch arenas there, so a
+/// million-trial sweep reuses `threads` arenas instead of allocating one per
+/// trial. Per-worker state cannot affect results: the engine routes outputs
+/// by index, and anything observable must be reset per item.
+///
 /// Each index in `0..total` is visited exactly once; with `threads <= 1`
-/// the ranges are executed inline in order. A worker panic propagates when
-/// the scope joins.
-pub fn parallel_for_batches<F>(total: usize, threads: usize, batch: usize, work: F)
+/// the ranges are executed inline in order on a single state. A worker
+/// panic propagates when the scope joins.
+pub fn parallel_for_batches<W, I, F>(total: usize, threads: usize, batch: usize, init: I, work: F)
 where
-    F: Fn(Range<usize>) + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(Range<usize>, &mut W) + Sync,
 {
     if total == 0 {
         return;
@@ -44,10 +51,11 @@ where
     // value (the CLI accepts arbitrary usize batches).
     let batch = batch.clamp(1, total);
     if threads == 1 {
+        let mut state = init();
         let mut start = 0;
         while start < total {
             let end = (start + batch).min(total);
-            work(start..end);
+            work(start..end, &mut state);
             start = end;
         }
         return;
@@ -55,12 +63,15 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(batch, Ordering::Relaxed);
-                if start >= total {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    work(start..(start + batch).min(total), &mut state);
                 }
-                work(start..(start + batch).min(total));
             });
         }
     });
@@ -78,11 +89,17 @@ mod tests {
             for batch in [1usize, 3, 16, 1024] {
                 let total = 1000;
                 let hits: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
-                parallel_for_batches(total, threads, batch, |range| {
-                    for i in range {
-                        hits[i].fetch_add(1, Ordering::Relaxed);
-                    }
-                });
+                parallel_for_batches(
+                    total,
+                    threads,
+                    batch,
+                    || (),
+                    |range, _| {
+                        for i in range {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                );
                 assert!(
                     hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
                     "threads={threads} batch={batch}: index visited != once"
@@ -106,13 +123,19 @@ mod tests {
         };
         let run = |threads: usize, batch: usize| -> Vec<u64> {
             let out = Mutex::new(vec![0u64; 500]);
-            parallel_for_batches(500, threads, batch, |range| {
-                let results: Vec<u64> = range.clone().map(compute).collect();
-                let mut out = out.lock();
-                for (i, r) in range.zip(results) {
-                    out[i] = r;
-                }
-            });
+            parallel_for_batches(
+                500,
+                threads,
+                batch,
+                || (),
+                |range, _| {
+                    let results: Vec<u64> = range.clone().map(compute).collect();
+                    let mut out = out.lock();
+                    for (i, r) in range.zip(results) {
+                        out[i] = r;
+                    }
+                },
+            );
             out.into_inner()
         };
         let golden = run(1, 1);
@@ -130,21 +153,27 @@ mod tests {
     #[test]
     fn sequential_path_runs_in_order() {
         let seen = Mutex::new(Vec::new());
-        parallel_for_batches(10, 1, 3, |range| seen.lock().extend(range));
+        parallel_for_batches(10, 1, 3, || (), |range, _| seen.lock().extend(range));
         assert_eq!(seen.into_inner(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_total_is_a_noop() {
-        parallel_for_batches(0, 4, 16, |_| panic!("no work expected"));
+        parallel_for_batches(0, 4, 16, || (), |_, _| panic!("no work expected"));
     }
 
     #[test]
     fn batch_zero_is_clamped() {
         let count = AtomicUsize::new(0);
-        parallel_for_batches(10, 2, 0, |range| {
-            count.fetch_add(range.len(), Ordering::Relaxed);
-        });
+        parallel_for_batches(
+            10,
+            2,
+            0,
+            || (),
+            |range, _| {
+                count.fetch_add(range.len(), Ordering::Relaxed);
+            },
+        );
         assert_eq!(count.load(Ordering::Relaxed), 10);
     }
 
@@ -152,9 +181,15 @@ mod tests {
     fn huge_batch_does_not_overflow() {
         for threads in [1usize, 4] {
             let count = AtomicUsize::new(0);
-            parallel_for_batches(10, threads, usize::MAX, |range| {
-                count.fetch_add(range.len(), Ordering::Relaxed);
-            });
+            parallel_for_batches(
+                10,
+                threads,
+                usize::MAX,
+                || (),
+                |range, _| {
+                    count.fetch_add(range.len(), Ordering::Relaxed);
+                },
+            );
             assert_eq!(count.load(Ordering::Relaxed), 10, "threads={threads}");
         }
     }
@@ -162,9 +197,15 @@ mod tests {
     #[test]
     fn more_threads_than_items() {
         let count = AtomicUsize::new(0);
-        parallel_for_batches(3, 64, 1, |range| {
-            count.fetch_add(range.len(), Ordering::Relaxed);
-        });
+        parallel_for_batches(
+            3,
+            64,
+            1,
+            || (),
+            |range, _| {
+                count.fetch_add(range.len(), Ordering::Relaxed);
+            },
+        );
         assert_eq!(count.load(Ordering::Relaxed), 3);
     }
 

@@ -302,6 +302,8 @@ impl DynamicSim {
 impl contention_sim::engine::Simulator for DynamicSim {
     type Config = DynamicConfig;
     type Output = DynamicMetrics;
+    /// Long-lived runs are few and heavy; per-trial state stays inline.
+    type Scratch = ();
     const NAME: &'static str = "dynamic";
 
     fn algorithm(config: &DynamicConfig) -> AlgorithmKind {
@@ -315,7 +317,12 @@ impl contention_sim::engine::Simulator for DynamicSim {
         }
     }
 
-    fn run(config: &DynamicConfig, _n: u32, rng: &mut rand::rngs::SmallRng) -> DynamicMetrics {
+    fn run_with(
+        config: &DynamicConfig,
+        _n: u32,
+        rng: &mut rand::rngs::SmallRng,
+        _scratch: &mut (),
+    ) -> DynamicMetrics {
         DynamicSim::new(*config).run(rng)
     }
 }

@@ -63,6 +63,28 @@ impl NoisyConfig {
     }
 }
 
+/// Reusable per-worker buffers for the windowed loop: the occupancy
+/// counters, the alive/done tables and the per-window draw lists all keep
+/// their high-water capacity from trial to trial. A fresh (`Default`)
+/// scratch behaves identically — reuse may only move memory, never results.
+#[derive(Default)]
+pub struct NoisyScratch {
+    /// Occupancy counter per slot of the current window (ideal path; only
+    /// touched slots are reset between windows).
+    occupancy: Vec<u32>,
+    /// Marks collision slots already counted this window (ideal path).
+    counted: Vec<bool>,
+    alive: Vec<u32>,
+    done: Vec<bool>,
+    /// Draws of the current window: (station, slot), in alive order.
+    draws: Vec<(u32, usize)>,
+    /// Successes of the current window in ascending slot order:
+    /// (slot, station).
+    window_successes: Vec<(usize, u32)>,
+    /// Sampled path: indices into `draws`, sorted by (slot, draw order).
+    order: Vec<u32>,
+}
+
 /// The noisy-channel aligned-window simulator.
 ///
 /// Two window-resolution paths share one loop: ideal channels (which sample
@@ -75,31 +97,17 @@ impl NoisyConfig {
 pub struct NoisySim {
     config: NoisyConfig,
     schedule: Schedule,
-    /// Occupancy counter per slot of the current window (ideal path; reused
-    /// across windows, only touched slots are reset).
-    occupancy: Vec<u32>,
-    /// Marks collision slots already counted this window (ideal path).
-    counted: Vec<bool>,
+    scratch: NoisyScratch,
 }
 
 impl NoisySim {
     /// Builds a simulator; panics for algorithms without a static window
     /// schedule (BEST-OF-k belongs to the MAC simulator).
     pub fn new(config: NoisyConfig) -> NoisySim {
-        let schedule = config
-            .algorithm
-            .schedule(config.truncation)
-            .unwrap_or_else(|| {
-                panic!(
-                    "{} has no static window schedule; use the MAC simulator",
-                    config.algorithm
-                )
-            });
         NoisySim {
             config,
-            schedule,
-            occupancy: Vec::new(),
-            counted: Vec::new(),
+            schedule: noisy_schedule(&config),
+            scratch: NoisyScratch::default(),
         }
     }
 
@@ -110,135 +118,172 @@ impl NoisySim {
 
     fn run_inner<R: Rng>(&mut self, n: u32, rng: &mut R, force_sampled: bool) -> BatchMetrics {
         self.schedule.reset();
-        let mut metrics = BatchMetrics {
+        run_windows(
+            &self.config,
+            &mut self.schedule,
+            &mut self.scratch,
             n,
-            stations: vec![StationMetrics::default(); n as usize],
-            ..BatchMetrics::default()
-        };
-        if n == 0 {
-            return metrics;
+            rng,
+            force_sampled,
+        )
+    }
+}
+
+/// The schedule a config prescribes; panics for algorithms without one.
+fn noisy_schedule(config: &NoisyConfig) -> Schedule {
+    config
+        .algorithm
+        .schedule(config.truncation)
+        .unwrap_or_else(|| {
+            panic!(
+                "{} has no static window schedule; use the MAC simulator",
+                config.algorithm
+            )
+        })
+}
+
+/// The shared windowed loop over caller-owned scratch buffers. `schedule`
+/// must be freshly built or reset.
+fn run_windows<R: Rng>(
+    config: &NoisyConfig,
+    schedule: &mut Schedule,
+    scratch: &mut NoisyScratch,
+    n: u32,
+    rng: &mut R,
+    force_sampled: bool,
+) -> BatchMetrics {
+    let mut metrics = BatchMetrics {
+        n,
+        stations: vec![StationMetrics::default(); n as usize],
+        ..BatchMetrics::default()
+    };
+    if n == 0 {
+        return metrics;
+    }
+
+    let fast_path = config.channel.is_ideal() && !force_sampled;
+    let half_target = n.div_ceil(2);
+    let NoisyScratch {
+        occupancy,
+        counted,
+        alive,
+        done,
+        draws,
+        window_successes,
+        order,
+    } = scratch;
+    alive.clear();
+    alive.extend(0..n);
+    done.clear();
+    done.resize(n as usize, false);
+    let mut slots_before_window: u64 = 0;
+    let mut windows_run: u32 = 0;
+
+    while !alive.is_empty() {
+        if config.max_windows != 0 && windows_run >= config.max_windows {
+            break;
+        }
+        windows_run += 1;
+        let width = schedule.next_window() as usize;
+        if fast_path && occupancy.len() < width {
+            occupancy.resize(width, 0);
+            counted.resize(width, false);
         }
 
-        let fast_path = self.config.channel.is_ideal() && !force_sampled;
-        let half_target = n.div_ceil(2);
-        let mut alive: Vec<u32> = (0..n).collect();
-        let mut done = vec![false; n as usize];
-        // Draws of the current window: (station, slot), in alive order.
-        let mut draws: Vec<(u32, usize)> = Vec::with_capacity(n as usize);
-        // Successes of the current window in ascending slot order:
-        // (slot, station).
-        let mut window_successes: Vec<(usize, u32)> = Vec::new();
-        // Sampled path: indices into `draws`, sorted by (slot, draw order).
-        let mut order: Vec<u32> = Vec::with_capacity(n as usize);
-        let mut slots_before_window: u64 = 0;
-        let mut windows_run: u32 = 0;
-
-        while !alive.is_empty() {
-            if self.config.max_windows != 0 && windows_run >= self.config.max_windows {
-                break;
-            }
-            windows_run += 1;
-            let width = self.schedule.next_window() as usize;
-            if fast_path && self.occupancy.len() < width {
-                self.occupancy.resize(width, 0);
-                self.counted.resize(width, false);
-            }
-
-            draws.clear();
-            for &station in &alive {
-                let slot = rng.gen_range(0..width);
-                draws.push((station, slot));
-                if fast_path {
-                    self.occupancy[slot] += 1;
-                }
-                let s = &mut metrics.stations[station as usize];
-                s.attempts += 1;
-                s.backoff_slots += slot as u64;
-            }
-
-            window_successes.clear();
+        draws.clear();
+        for &station in alive.iter() {
+            let slot = rng.gen_range(0..width);
+            draws.push((station, slot));
             if fast_path {
-                // A1 classification with occupancy counters: the ideal
-                // channel draws nothing, so no per-slot sampling is needed.
-                for &(station, slot) in &draws {
-                    if self.occupancy[slot] == 1 {
+                occupancy[slot] += 1;
+            }
+            let s = &mut metrics.stations[station as usize];
+            s.attempts += 1;
+            s.backoff_slots += slot as u64;
+        }
+
+        window_successes.clear();
+        if fast_path {
+            // A1 classification with occupancy counters: the ideal
+            // channel draws nothing, so no per-slot sampling is needed.
+            for &(station, slot) in draws.iter() {
+                if occupancy[slot] == 1 {
+                    window_successes.push((slot, station));
+                } else {
+                    // A1 failure; under A2 the station learns it in-slot
+                    // at zero extra cost — the assumption under test.
+                    metrics.stations[station as usize].ack_timeouts += 1;
+                    if !counted[slot] {
+                        counted[slot] = true;
+                        metrics.collisions += 1;
+                    }
+                    metrics.colliding_stations += 1;
+                }
+            }
+            window_successes.sort_unstable();
+            // Reset only the touched slots (windows can be huge; zeroing
+            // the whole buffer every window would dominate the run time).
+            for &(_, slot) in draws.iter() {
+                occupancy[slot] = 0;
+                counted[slot] = false;
+            }
+        } else {
+            // Group same-slot draws (ascending slot; draw order within a
+            // slot) and resolve each group through the channel.
+            order.clear();
+            order.extend(0..draws.len() as u32);
+            order.sort_unstable_by_key(|&i| (draws[i as usize].1, i));
+            let mut group_start = 0usize;
+            while group_start < order.len() {
+                let slot = draws[order[group_start] as usize].1;
+                let mut group_end = group_start + 1;
+                while group_end < order.len() && draws[order[group_end] as usize].1 == slot {
+                    group_end += 1;
+                }
+                let k = (group_end - group_start) as u32;
+                let fate = config.channel.sample_slot(k, rng);
+                if k >= 2 {
+                    metrics.collisions += 1;
+                    metrics.colliding_stations += k as u64;
+                }
+                for (j, &draw_idx) in order[group_start..group_end].iter().enumerate() {
+                    let station = draws[draw_idx as usize].0;
+                    if matches!(fate, SlotFate::Delivered { winner } if winner as usize == j) {
                         window_successes.push((slot, station));
                     } else {
-                        // A1 failure; under A2 the station learns it in-slot
-                        // at zero extra cost — the assumption under test.
+                        // Collision loss or noise erasure; the station
+                        // learns it in-slot (A2) and waits out the window.
                         metrics.stations[station as usize].ack_timeouts += 1;
-                        if !self.counted[slot] {
-                            self.counted[slot] = true;
-                            metrics.collisions += 1;
-                        }
-                        metrics.colliding_stations += 1;
                     }
                 }
-                window_successes.sort_unstable();
-                // Reset only the touched slots (windows can be huge; zeroing
-                // the whole buffer every window would dominate the run time).
-                for &(_, slot) in &draws {
-                    self.occupancy[slot] = 0;
-                    self.counted[slot] = false;
-                }
-            } else {
-                // Group same-slot draws (ascending slot; draw order within a
-                // slot) and resolve each group through the channel.
-                order.clear();
-                order.extend(0..draws.len() as u32);
-                order.sort_unstable_by_key(|&i| (draws[i as usize].1, i));
-                let mut group_start = 0usize;
-                while group_start < order.len() {
-                    let slot = draws[order[group_start] as usize].1;
-                    let mut group_end = group_start + 1;
-                    while group_end < order.len() && draws[order[group_end] as usize].1 == slot {
-                        group_end += 1;
-                    }
-                    let k = (group_end - group_start) as u32;
-                    let fate = self.config.channel.sample_slot(k, rng);
-                    if k >= 2 {
-                        metrics.collisions += 1;
-                        metrics.colliding_stations += k as u64;
-                    }
-                    for (j, &draw_idx) in order[group_start..group_end].iter().enumerate() {
-                        let station = draws[draw_idx as usize].0;
-                        if matches!(fate, SlotFate::Delivered { winner } if winner as usize == j) {
-                            window_successes.push((slot, station));
-                        } else {
-                            // Collision loss or noise erasure; the station
-                            // learns it in-slot (A2) and waits out the window.
-                            metrics.stations[station as usize].ack_timeouts += 1;
-                        }
-                    }
-                    group_start = group_end;
-                }
+                group_start = group_end;
             }
-
-            for &(slot, station) in &window_successes {
-                done[station as usize] = true;
-                metrics.successes += 1;
-                let at_slot = slots_before_window + slot as u64 + 1;
-                metrics.stations[station as usize].success_time = Some(self.config.slot * at_slot);
-                if metrics.successes == half_target {
-                    metrics.half_cw_slots = at_slot;
-                }
-                if metrics.successes == n {
-                    metrics.cw_slots = at_slot;
-                }
-            }
-
-            if window_successes.len() == alive.len() {
-                alive.clear();
-            } else if !window_successes.is_empty() {
-                alive.retain(|&st| !done[st as usize]);
-            }
-            slots_before_window += width as u64;
         }
 
-        metrics.total_time = self.config.slot * metrics.cw_slots;
-        metrics.half_time = self.config.slot * metrics.half_cw_slots;
-        metrics
+        for &(slot, station) in window_successes.iter() {
+            done[station as usize] = true;
+            metrics.successes += 1;
+            let at_slot = slots_before_window + slot as u64 + 1;
+            metrics.stations[station as usize].success_time = Some(config.slot * at_slot);
+            if metrics.successes == half_target {
+                metrics.half_cw_slots = at_slot;
+            }
+            if metrics.successes == n {
+                metrics.cw_slots = at_slot;
+            }
+        }
+
+        if window_successes.len() == alive.len() {
+            alive.clear();
+        } else if !window_successes.is_empty() {
+            alive.retain(|&st| !done[st as usize]);
+        }
+        slots_before_window += width as u64;
     }
+
+    metrics.total_time = config.slot * metrics.cw_slots;
+    metrics.half_time = config.slot * metrics.half_cw_slots;
+    metrics
 }
 
 /// Plugs the noisy-channel semantics into the generic sweep engine.
@@ -258,8 +303,15 @@ impl Simulator for NoisySim {
         }
     }
 
-    fn run(config: &NoisyConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
-        NoisySim::new(*config).run(n, rng)
+    type Scratch = NoisyScratch;
+
+    fn run_with(
+        config: &NoisyConfig,
+        n: u32,
+        rng: &mut SmallRng,
+        scratch: &mut NoisyScratch,
+    ) -> BatchMetrics {
+        run_windows(config, &mut noisy_schedule(config), scratch, n, rng, false)
     }
 }
 

@@ -149,6 +149,8 @@ impl ResidualSim {
 impl Simulator for ResidualSim {
     type Config = ResidualConfig;
     type Output = BatchMetrics;
+    /// Residual-timer trials keep their heap inside `run`; no arena yet.
+    type Scratch = ();
     const NAME: &'static str = "residual";
 
     fn algorithm(config: &ResidualConfig) -> AlgorithmKind {
@@ -162,7 +164,12 @@ impl Simulator for ResidualSim {
         }
     }
 
-    fn run(config: &ResidualConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
+    fn run_with(
+        config: &ResidualConfig,
+        n: u32,
+        rng: &mut SmallRng,
+        _scratch: &mut (),
+    ) -> BatchMetrics {
         ResidualSim::new(*config).run(n, rng)
     }
 }

@@ -13,7 +13,7 @@
 //! therefore structurally identical to the softened model's `p = 0`
 //! degenerate case, not merely test-equivalent.
 
-use crate::noisy::{NoisyConfig, NoisySim};
+use crate::noisy::{NoisyConfig, NoisyScratch, NoisySim};
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::channel::ChannelModel;
 use contention_core::metrics::BatchMetrics;
@@ -97,6 +97,9 @@ impl WindowedSim {
 impl Simulator for WindowedSim {
     type Config = WindowedConfig;
     type Output = BatchMetrics;
+    /// Shares the noisy-channel engine's buffers (it *is* that engine over
+    /// the ideal channel).
+    type Scratch = NoisyScratch;
     const NAME: &'static str = "windowed";
 
     fn algorithm(config: &WindowedConfig) -> AlgorithmKind {
@@ -110,8 +113,13 @@ impl Simulator for WindowedSim {
         }
     }
 
-    fn run(config: &WindowedConfig, n: u32, rng: &mut SmallRng) -> BatchMetrics {
-        WindowedSim::new(*config).run(n, rng)
+    fn run_with(
+        config: &WindowedConfig,
+        n: u32,
+        rng: &mut SmallRng,
+        scratch: &mut NoisyScratch,
+    ) -> BatchMetrics {
+        NoisySim::run_with(&config.as_noisy(), n, rng, scratch)
     }
 }
 

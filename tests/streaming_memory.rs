@@ -17,11 +17,13 @@ struct CountingAllocator;
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
             let now = CURRENT.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
             PEAK.fetch_max(now, Ordering::SeqCst);
         }
@@ -80,5 +82,60 @@ fn folded_sweep_memory_does_not_scale_with_trials() {
         peak_growth < 2_000_000,
         "peak heap growth {peak_growth} B suggests per-trial retention \
          (collect path would need {collect_cost} B)"
+    );
+}
+
+/// O(1)-state accumulator over total time (drops the summary, no alloc).
+struct TimeExtrema(Extrema);
+
+impl Accumulator<TrialSummary> for TimeExtrema {
+    fn record(&mut self, _trial: u32, value: TrialSummary) {
+        self.0.record(value.total_time_us);
+    }
+}
+
+/// Steady-state allocation ceiling for the MAC simulator's trial loop.
+///
+/// With the per-worker scratch arena (event-queue slab, medium buffers,
+/// station table, membership lists all recycled), a steady-state MAC trial
+/// may allocate only its *output*: the per-station metrics vector, plus a
+/// couple of transients. Running the same sweep with two trial counts and
+/// differencing the allocation-call counter isolates exactly the per-trial
+/// cost — sweep setup, arena growth to the high-water mark and test-harness
+/// noise cancel out.
+#[test]
+fn mac_trial_loop_allocates_only_its_output() {
+    const N: u32 = 30;
+    let sweep = |trials: u32| Sweep::<MacSim> {
+        experiment: "mac-alloc-ceiling",
+        config: MacConfig::paper(AlgorithmKind::Beb, 64),
+        algorithms: vec![AlgorithmKind::Beb],
+        ns: vec![N],
+        trials,
+        // Sequential: the engine runs inline on one arena (no thread-spawn
+        // allocations muddying the count).
+        exec: ExecPolicy::threads(1),
+    };
+
+    let allocs_for = |trials: u32| {
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        let cells = sweep(trials).run_fold(|_, _, _| TimeExtrema(Extrema::new()));
+        assert_eq!(cells[0].acc.0.count(), trials as u64);
+        ALLOC_CALLS.load(Ordering::SeqCst) - before
+    };
+
+    // Warm-up run also verifies the sweep completes.
+    allocs_for(8);
+    let short = allocs_for(8);
+    let long = allocs_for(72);
+    let per_trial = (long.saturating_sub(short)) as f64 / 64.0;
+    // One stations vector per trial is inherent (it is the output); the
+    // ceiling allows a small constant more so incidental transients don't
+    // flake, but catches any O(n)-per-trial or per-event regression.
+    assert!(
+        per_trial <= 4.0,
+        "steady-state MAC trial makes {per_trial:.2} allocations \
+         (short sweep: {short}, long sweep: {long}); the arena is leaking \
+         per-trial allocations back into the hot loop"
     );
 }
