@@ -55,6 +55,40 @@ impl AlgorithmKind {
         }
     }
 
+    /// Stable machine-readable identifier, round-trippable through
+    /// [`AlgorithmKind::from_key`] — what serialized artifacts (e.g. the
+    /// `shard_state/v1` files) store instead of the display label.
+    pub fn key(&self) -> String {
+        match self {
+            AlgorithmKind::Beb => "beb".to_string(),
+            AlgorithmKind::LogBackoff => "lb".to_string(),
+            AlgorithmKind::LogLogBackoff => "llb".to_string(),
+            AlgorithmKind::Sawtooth => "stb".to_string(),
+            AlgorithmKind::Fixed { window } => format!("fixed:{window}"),
+            AlgorithmKind::BestOfK { k } => format!("bestof:{k}"),
+            AlgorithmKind::Polynomial { degree } => format!("poly:{degree}"),
+        }
+    }
+
+    /// Parses a [`AlgorithmKind::key`] string back into the algorithm.
+    pub fn from_key(key: &str) -> Option<AlgorithmKind> {
+        match key {
+            "beb" => return Some(AlgorithmKind::Beb),
+            "lb" => return Some(AlgorithmKind::LogBackoff),
+            "llb" => return Some(AlgorithmKind::LogLogBackoff),
+            "stb" => return Some(AlgorithmKind::Sawtooth),
+            _ => {}
+        }
+        let (kind, arg) = key.split_once(':')?;
+        let arg: u32 = arg.parse().ok()?;
+        match kind {
+            "fixed" => Some(AlgorithmKind::Fixed { window: arg }),
+            "bestof" => Some(AlgorithmKind::BestOfK { k: arg }),
+            "poly" => Some(AlgorithmKind::Polynomial { degree: arg }),
+            _ => None,
+        }
+    }
+
     /// Builds the window schedule for this algorithm, or `None` for
     /// `BestOfK`, whose window size is only known after the estimation phase
     /// has run (the MAC simulator handles it specially).
@@ -96,6 +130,25 @@ mod tests {
         assert_eq!(AlgorithmKind::LogLogBackoff.label(), "LLB");
         assert_eq!(AlgorithmKind::Sawtooth.label(), "STB");
         assert_eq!(AlgorithmKind::BestOfK { k: 3 }.label(), "Best-of-3");
+    }
+
+    #[test]
+    fn keys_round_trip_every_variant() {
+        let all = [
+            AlgorithmKind::Beb,
+            AlgorithmKind::LogBackoff,
+            AlgorithmKind::LogLogBackoff,
+            AlgorithmKind::Sawtooth,
+            AlgorithmKind::Fixed { window: 512 },
+            AlgorithmKind::BestOfK { k: 5 },
+            AlgorithmKind::Polynomial { degree: 2 },
+        ];
+        for kind in all {
+            assert_eq!(AlgorithmKind::from_key(&kind.key()), Some(kind), "{kind}");
+        }
+        assert_eq!(AlgorithmKind::from_key("nope"), None);
+        assert_eq!(AlgorithmKind::from_key("fixed:abc"), None);
+        assert_eq!(AlgorithmKind::from_key("warp:3"), None);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod algorithm;
 pub mod bounds;
 pub mod channel;
 pub mod estimate;
+pub mod merge;
 pub mod metrics;
 pub mod model;
 pub mod params;

@@ -1,0 +1,25 @@
+//! The merge side of the process-sharding seam.
+//!
+//! Lives here — the leaf crate — so that accumulator implementors
+//! (`contention-stats` collectors, the engine's slots, the experiment
+//! harness's per-metric buffers) can share one trait without the stats
+//! layer depending on the execution engine. `contention_sim::engine`
+//! re-exports it next to [`Accumulator`](../sim) as part of the fold seam.
+
+/// Per-cell accumulator state that can be combined across processes.
+///
+/// `merge` folds `other`'s recorded state into `self`. Implementations must
+/// be **associative and commutative** (any grouping and order of shard
+/// merges yields bit-identical state) and must **agree with sequential
+/// folding**: recording trials {A ∪ B} into one accumulator equals recording
+/// A and B into two accumulators and merging them, provided A and B are
+/// disjoint. Each trial must arrive exactly once across all merge operands;
+/// position-addressed implementations panic on a double delivery (the same
+/// exactly-once guarantee the in-process engine enjoys). Use the fallible
+/// variants (e.g. `try_merge`) where a clean error is needed instead of a
+/// panic — merging untrusted on-disk artifacts, say.
+pub trait MergeableAccumulator: Sized {
+    /// Folds `other` into `self`; panics if the operands overlap or are
+    /// incompatibly shaped.
+    fn merge(&mut self, other: Self);
+}

@@ -12,7 +12,7 @@
 use crate::summary::{Metric, TrialSummary};
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
-use contention_sim::engine::{Accumulator, FoldedCell};
+use contention_sim::engine::{Accumulator, FoldedCell, MergeableAccumulator};
 use contention_stats::ci::median_ci95;
 use contention_stats::outliers::without_outliers;
 use contention_stats::stream::StreamingSample;
@@ -111,6 +111,67 @@ impl MetricStats {
             .iter()
             .map(|s| s.len() * StreamingSample::BYTES_PER_TRIAL)
             .sum()
+    }
+
+    /// The metrics this collector retains, in buffer order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// The per-metric buffers, raw (NaN sentinels included) — what a
+    /// partial-state shard artifact serializes.
+    pub fn raw_samples(&self) -> &[StreamingSample] {
+        &self.samples
+    }
+
+    /// True once every (trial, metric) slot has been recorded.
+    pub fn is_complete(&self) -> bool {
+        self.samples.iter().all(|s| s.is_complete())
+    }
+
+    /// Rebuilds a (possibly partial) collector from its buffers — the
+    /// deserialization side of [`MetricStats::raw_samples`].
+    pub fn from_parts(metrics: Vec<Metric>, samples: Vec<StreamingSample>) -> MetricStats {
+        assert_eq!(
+            metrics.len(),
+            samples.len(),
+            "one buffer per metric required"
+        );
+        assert!(
+            samples.windows(2).all(|w| w[0].len() == w[1].len()),
+            "metric buffers must agree on the trial count"
+        );
+        MetricStats { metrics, samples }
+    }
+
+    /// Fallible merge across shard boundaries: unions each metric's filled
+    /// trials, erroring (instead of panicking) on mismatched metric lists
+    /// or a (trial, metric) slot both operands filled.
+    pub fn try_merge(&mut self, other: MetricStats) -> Result<(), String> {
+        if self.metrics != other.metrics {
+            return Err(format!(
+                "cannot merge cells collecting different metrics ({:?} vs {:?})",
+                self.metrics, other.metrics
+            ));
+        }
+        for ((metric, mine), theirs) in self
+            .metrics
+            .iter()
+            .zip(&mut self.samples)
+            .zip(other.samples)
+        {
+            mine.try_merge(theirs)
+                .map_err(|e| format!("metric {}: {e}", metric.key()))?;
+        }
+        Ok(())
+    }
+}
+
+impl MergeableAccumulator for MetricStats {
+    /// Metric-wise [`StreamingSample`] union; inherits its associativity
+    /// and exactly-once guarantees.
+    fn merge(&mut self, other: Self) {
+        self.try_merge(other).expect("mergeable cells");
     }
 }
 
@@ -249,6 +310,58 @@ mod tests {
         assert_eq!(c.acc.sample(Metric::TotalTimeUs), &[100.0, 200.0]);
         assert_eq!(c.acc.raw_median(Metric::CwSlots), 15.0);
         assert_eq!(c.acc.retained_bytes(), 2 * 2 * 8);
+    }
+
+    #[test]
+    fn merge_of_disjoint_trial_ranges_matches_sequential_fold() {
+        let metrics = [Metric::CwSlots, Metric::TotalTimeUs];
+        let values = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut sequential = MetricStats::new(&metrics, values.len() as u32);
+        let mut lo = MetricStats::new(&metrics, values.len() as u32);
+        let mut hi = MetricStats::new(&metrics, values.len() as u32);
+        for (t, &v) in values.iter().enumerate() {
+            sequential.record(t as u32, summary(9, v));
+            let shard = if t < 2 { &mut lo } else { &mut hi };
+            shard.record(t as u32, summary(9, v));
+        }
+        assert!(!lo.is_complete());
+        lo.merge(hi);
+        assert!(lo.is_complete());
+        assert_eq!(lo, sequential);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_metrics_and_overlap() {
+        let mut a = MetricStats::new(&[Metric::CwSlots], 2);
+        let b = MetricStats::new(&[Metric::Collisions], 2);
+        let err = a.try_merge(b).unwrap_err();
+        assert!(err.contains("different metrics"), "{err}");
+        let mut c = MetricStats::new(&[Metric::CwSlots], 2);
+        let mut d = MetricStats::new(&[Metric::CwSlots], 2);
+        c.record(0, summary(5, 1.0));
+        d.record(0, summary(5, 2.0));
+        let err = c.try_merge(d).unwrap_err();
+        assert!(err.contains("cw_slots") && err.contains("trial 0"), "{err}");
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_partial_state() {
+        let mut acc = MetricStats::new(&[Metric::CwSlots, Metric::Collisions], 3);
+        acc.record(1, summary(7, 5.0));
+        let rebuilt = MetricStats::from_parts(acc.metrics().to_vec(), acc.raw_samples().to_vec());
+        assert_eq!(rebuilt.metrics(), acc.metrics());
+        for (r, a) in rebuilt.raw_samples().iter().zip(acc.raw_samples()) {
+            let bits = |s: &contention_stats::stream::StreamingSample| {
+                s.raw().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(r), bits(a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one buffer per metric")]
+    fn from_parts_rejects_shape_mismatch() {
+        let _ = MetricStats::from_parts(vec![Metric::CwSlots], vec![]);
     }
 
     #[test]

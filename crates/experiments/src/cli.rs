@@ -3,6 +3,8 @@
 //! ```text
 //! repro <experiment|all|list> [--full] [--trials N] [--out DIR] [--json]
 //!       [--threads N] [--batch N]
+//! repro shard <experiment> --shard i/N --out DIR   # partial-state artifact
+//! repro merge DIR... --out DIR [--json]            # recombine + report
 //! ```
 //!
 //! Default grids are laptop-quick; `--full` switches to the paper's grids
@@ -10,12 +12,22 @@
 //! `--out DIR` each experiment also writes CSV series for plotting;
 //! `--json` adds JSON artifacts next to them.
 //!
+//! `shard`/`merge` split a sweep across processes: each `shard` invocation
+//! runs one contiguous cell range of the experiment's grid and writes a
+//! `shard_state/v1` artifact; `merge` validates and merges any number of
+//! such artifacts and emits the **same reports, byte for byte,** as the
+//! single-process run (see `crate::shard`).
+//!
 //! The actual binary lives in the workspace root package (`src/bin/repro.rs`)
 //! so that a plain `cargo run --bin repro` works from the repository root;
 //! this module holds all of its logic so it stays unit-testable here.
 
+use crate::figures::sharding::{find_shardable, shardable_names};
 use crate::figures::{registry, Report};
 use crate::options::Options;
+use crate::shard::{load_dir, merge_states, write_state, ShardState};
+use contention_sim::engine::CellRange;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// Entry point: parses `args` (without the program name) and runs the
@@ -50,6 +62,12 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!("error: cannot create --out {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
+    }
+    if sub == "shard" {
+        return run_shard(&opts);
+    }
+    if sub == "merge" {
+        return run_merge(&opts);
     }
     if sub == "bench" {
         let started = std::time::Instant::now();
@@ -100,6 +118,97 @@ pub fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro shard <experiment> --shard i/N --out DIR`: runs shard `i`'s cell
+/// range of the experiment's grid and writes the partial-state artifact.
+fn run_shard(opts: &Options) -> ExitCode {
+    let name = &opts.inputs[0];
+    let Some(entry) = find_shardable(name) else {
+        eprintln!(
+            "error: {name:?} is not shardable (shardable experiments: {})",
+            shardable_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let (index, of) = opts.shard.expect("validated at parse time");
+    let grid = (entry.grid)(opts);
+    let total = grid.cell_count();
+    let range = CellRange::shard(total, index as usize, of as usize);
+    let started = std::time::Instant::now();
+    let cells = (entry.cells)(opts, Some(range));
+    let state = ShardState::from_cells(entry.name, opts.full, (index, of), &grid, &cells);
+    let dir = opts.out_dir.as_deref().expect("validated at parse time");
+    let path = write_state(dir, &state);
+    println!(
+        "[shard] {name} shard {index}/{of}: cells [{}, {}) of {total} → {} in {:.1?}",
+        range.lo,
+        range.hi,
+        path.display(),
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro merge DIR... --out DIR [--json]`: loads every shard artifact in
+/// the given directories, merges them, and emits the experiment's reports
+/// exactly as a single-process `repro <experiment> --out DIR` would.
+fn run_merge(opts: &Options) -> ExitCode {
+    let mut states = Vec::new();
+    for dir in &opts.inputs {
+        match load_dir(Path::new(dir)) {
+            Ok(found) => states.extend(found),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let count = states.len();
+    let denominator = states.first().map_or(1, |s| s.shard.1);
+    let merged = match merge_states(states) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !merged.is_complete() {
+        eprintln!("error: merged state is incomplete — did you merge all {denominator} shards?");
+        for missing in merged.missing().iter().take(8) {
+            eprintln!("  {missing}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let Some(entry) = find_shardable(&merged.experiment) else {
+        eprintln!(
+            "error: artifact names unknown experiment {:?}",
+            merged.experiment
+        );
+        return ExitCode::FAILURE;
+    };
+    // Rebuild the options the report half would have seen in-process; the
+    // artifact records everything execution-independent about the run.
+    let report_opts = Options {
+        full: merged.full,
+        trials: Some(merged.grid.trials),
+        ..Options::default()
+    };
+    let name = merged.experiment.clone();
+    let report = (entry.report)(&report_opts, &merged.into_cells());
+    report.print();
+    let dir = opts.out_dir.as_deref().expect("validated at parse time");
+    report.write_csv(dir);
+    if opts.json {
+        report.write_json(dir);
+    }
+    println!(
+        "[merge] {count} artifacts → {} {} written to {}",
+        name,
+        if opts.json { "CSVs + JSON" } else { "CSVs" },
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Entry point over the process arguments.
 pub fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +220,8 @@ fn print_usage() {
         "usage: repro <experiment|all|list|bench> [--full] [--quick] [--trials N] [--out DIR] \
          [--json] [--threads N] [--batch N]"
     );
+    println!("       repro shard <experiment> --shard i/N --out DIR   (partial-state artifact)");
+    println!("       repro merge DIR... --out DIR [--json]            (recombine + report)");
     println!();
     println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds);");
     println!("              prints trials-completed progress + ETA to stderr when it is a TTY");
@@ -121,6 +232,8 @@ fn print_usage() {
     println!("  --threads N worker threads (default: all cores)");
     println!("  --batch N   trials claimed per scheduling step (default: auto; results");
     println!("              are bit-identical for every batch size and thread count)");
+    println!("  --shard i/N run only cell shard i of N (shard subcommand; merged output");
+    println!("              is byte-identical to the single-process run)");
     println!();
     println!("experiments:");
     for (name, desc, _) in registry() {
@@ -151,5 +264,130 @@ mod tests {
         assert_eq!(run(&strs(&["list"])), ExitCode::SUCCESS);
         assert_eq!(run(&strs(&["--help"])), ExitCode::SUCCESS);
         assert_eq!(run(&[]), ExitCode::SUCCESS);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_rejects_unshardable_experiments() {
+        let out = temp_dir("unshardable");
+        // fig13 is a single deterministic trace — registered, but not in
+        // the shardable registry.
+        assert_eq!(
+            run(&strs(&[
+                "shard",
+                "fig13",
+                "--shard",
+                "0/2",
+                "--out",
+                out.to_str().unwrap()
+            ])),
+            ExitCode::FAILURE
+        );
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_incomplete_inputs() {
+        let empty = temp_dir("merge-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = temp_dir("merge-out");
+        // A directory with no artifacts fails cleanly.
+        assert_eq!(
+            run(&strs(&[
+                "merge",
+                empty.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap()
+            ])),
+            ExitCode::FAILURE
+        );
+        // One shard of two merges but is incomplete → clean failure, no
+        // report written.
+        let shard_dir = temp_dir("merge-partial");
+        assert_eq!(
+            run(&strs(&[
+                "shard",
+                "fig5",
+                "--trials",
+                "2",
+                "--threads",
+                "2",
+                "--shard",
+                "0/2",
+                "--out",
+                shard_dir.to_str().unwrap()
+            ])),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&strs(&[
+                "merge",
+                shard_dir.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap()
+            ])),
+            ExitCode::FAILURE
+        );
+        assert!(!out.join("fig5_cw_slots_abstract.csv").exists());
+        for dir in [empty, out, shard_dir] {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn shard_then_merge_reproduces_the_direct_csv() {
+        let direct = temp_dir("direct");
+        let merged = temp_dir("merged");
+        let shards = temp_dir("shards");
+        assert_eq!(
+            run(&strs(&[
+                "fig5",
+                "--trials",
+                "2",
+                "--threads",
+                "2",
+                "--out",
+                direct.to_str().unwrap()
+            ])),
+            ExitCode::SUCCESS
+        );
+        for i in 0..2 {
+            assert_eq!(
+                run(&strs(&[
+                    "shard",
+                    "fig5",
+                    "--trials",
+                    "2",
+                    "--threads",
+                    "2",
+                    "--shard",
+                    &format!("{i}/2"),
+                    "--out",
+                    shards.to_str().unwrap()
+                ])),
+                ExitCode::SUCCESS
+            );
+        }
+        assert_eq!(
+            run(&strs(&[
+                "merge",
+                shards.to_str().unwrap(),
+                "--out",
+                merged.to_str().unwrap()
+            ])),
+            ExitCode::SUCCESS
+        );
+        let read = |d: &std::path::Path| {
+            std::fs::read_to_string(d.join("fig5_cw_slots_abstract.csv")).unwrap()
+        };
+        assert_eq!(read(&direct), read(&merged), "merged CSV diverged");
+        for dir in [direct, merged, shards] {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

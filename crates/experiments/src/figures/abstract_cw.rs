@@ -1,32 +1,43 @@
 //! Figures 5, 15 and 16 — the abstract (A0–A2 only) simulator.
+//!
+//! Each figure is split into `*_cells` (the sweep, cell-range aware for
+//! process sharding) and `*_report` (pure function of the folded cells);
+//! Figures 15 and 16 share one large-n sweep, so they share its grid too.
 
-use crate::aggregate::{series_per_algorithm, MetricStats, Series, SeriesPoint, StatsCell};
-use crate::figures::shared::{paper_algorithms, report_from_series};
+use crate::aggregate::{series_per_algorithm, Series, SeriesPoint, StatsCell};
+use crate::figures::shared::{fold_grid, paper_algorithms, report_from_series};
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::Metric;
-use crate::sweep::{folded, Sweep};
+use crate::sweep::folded;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
+use contention_sim::engine::CellRange;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
-/// Figure 5: CW slots from the abstract simulator over the paper's n grid.
-///
-/// This is the "simple Java simulation" — it roughly agrees with the NS3
-/// numbers in magnitude and in BEB's separation, though the newer algorithms
-/// do not separate cleanly at this scale (§III-A1).
-pub fn fig5(opts: &Options) -> Report {
-    let cells = Sweep::<WindowedSim> {
-        experiment: "fig5",
-        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+pub fn fig5_grid(opts: &Options) -> GridMeta {
+    GridMeta {
         algorithms: paper_algorithms(),
         ns: opts.mac_ns(),
         trials: opts.trials_or(12, 50),
-        exec: opts.exec(),
+        metrics: vec![Metric::CwSlots],
     }
-    .run_fold(MetricStats::collector(&[Metric::CwSlots]));
-    let series = series_per_algorithm(&cells, &paper_algorithms(), Metric::CwSlots);
+}
+
+pub fn fig5_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    fold_grid::<WindowedSim>(
+        "fig5",
+        WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        &fig5_grid(opts),
+        opts,
+        range,
+    )
+}
+
+pub fn fig5_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    let series = series_per_algorithm(cells, &paper_algorithms(), Metric::CwSlots);
     report_from_series(
         "Figure 5 — CW slots vs n (abstract simulator, assumptions A0–A2 only)",
         "fig5_cw_slots_abstract",
@@ -36,34 +47,45 @@ pub fn fig5(opts: &Options) -> Report {
     )
 }
 
-/// The large-n grid of §V-A. The paper runs n ≤ 10⁵ in increments of 400
-/// with 200 trials on a cluster; `--full` uses increments of 8 000 with a
-/// couple dozen trials, quick mode stays below n = 2·10⁴.
-fn large_n_sweep(opts: &Options) -> Vec<StatsCell> {
+/// Figure 5: CW slots from the abstract simulator over the paper's n grid.
+///
+/// This is the "simple Java simulation" — it roughly agrees with the NS3
+/// numbers in magnitude and in BEB's separation, though the newer algorithms
+/// do not separate cleanly at this scale (§III-A1).
+pub fn fig5(opts: &Options) -> Report {
+    fig5_report(opts, &fig5_cells(opts, None))
+}
+
+/// The large-n grid of §V-A, shared by Figures 15 and 16. The paper runs
+/// n ≤ 10⁵ in increments of 400 with 200 trials on a cluster; `--full` uses
+/// increments of 8 000 with a couple dozen trials, quick mode stays below
+/// n = 2·10⁴.
+pub fn large_n_grid(opts: &Options) -> GridMeta {
     let ns: Vec<u32> = if opts.full {
         (1..=12).map(|i| i * 8_000).collect()
     } else {
         vec![2_000, 6_000, 12_000, 20_000]
     };
-    Sweep::<WindowedSim> {
-        experiment: "fig15-16",
-        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+    GridMeta {
         algorithms: paper_algorithms(),
         ns,
         trials: opts.trials_or(8, 24),
-        exec: opts.exec(),
+        metrics: vec![Metric::CwSlots, Metric::Collisions],
     }
-    .run_fold(MetricStats::collector(&[
-        Metric::CwSlots,
-        Metric::Collisions,
-    ]))
 }
 
-/// Figure 15: CW slots at large n — STB pulls ahead and LLB finally
-/// outperforms LB, as the asymptotics (Table II) demand (§V-A(i)).
-pub fn fig15(opts: &Options) -> Report {
-    let cells = large_n_sweep(opts);
-    let series = series_per_algorithm(&cells, &paper_algorithms(), Metric::CwSlots);
+pub fn large_n_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    fold_grid::<WindowedSim>(
+        "fig15-16",
+        WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        &large_n_grid(opts),
+        opts,
+        range,
+    )
+}
+
+pub fn fig15_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    let series = series_per_algorithm(cells, &paper_algorithms(), Metric::CwSlots);
     let mut report = report_from_series(
         "Figure 15 — CW slots at large n (abstract simulator)",
         "fig15_large_n_cw_slots",
@@ -81,10 +103,19 @@ pub fn fig15(opts: &Options) -> Report {
     report
 }
 
+/// Figure 15: CW slots at large n — STB pulls ahead and LLB finally
+/// outperforms LB, as the asymptotics (Table II) demand (§V-A(i)).
+pub fn fig15(opts: &Options) -> Report {
+    fig15_report(opts, &large_n_cells(opts, None))
+}
+
 /// Figure 16: ratio of median collision counts vs STB (§V-A(ii)–(iii)):
 /// LB/STB exceeds 1 quickly, LLB/STB crawls upward, BEB/STB stays flat.
 pub fn fig16(opts: &Options) -> Report {
-    let cells = large_n_sweep(opts);
+    fig16_report(opts, &large_n_cells(opts, None))
+}
+
+pub fn fig16_report(_opts: &Options, cells: &[StatsCell]) -> Report {
     let ns: Vec<u32> = {
         let mut v: Vec<u32> = cells.iter().map(|c| c.n).collect();
         v.sort_unstable();
@@ -103,11 +134,11 @@ pub fn fig16(opts: &Options) -> Report {
             points: ns
                 .iter()
                 .map(|&n| {
-                    let num = folded(&cells, alg, n)
+                    let num = folded(cells, alg, n)
                         .acc
                         .point(n as f64, Metric::Collisions)
                         .median;
-                    let den = folded(&cells, AlgorithmKind::Sawtooth, n)
+                    let den = folded(cells, AlgorithmKind::Sawtooth, n)
                         .acc
                         .point(n as f64, Metric::Collisions)
                         .median

@@ -4,33 +4,58 @@
 //! algorithms incur substantially more ACK timeouts — i.e. collisions — and
 //! each one forces a costly retransmission.
 
-use crate::figures::shared::standard_mac_figure;
+use crate::aggregate::StatsCell;
+use crate::figures::shared::{mac_grid, mac_stats_range, standard_mac_figure_from_cells};
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::Metric;
+use contention_sim::engine::CellRange;
+
+pub fn fig11_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::MaxAckTimeouts])
+}
+
+pub fn fig11_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::MaxAckTimeouts], range)
+}
+
+pub fn fig11_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 11 — max ACK timeouts per station vs n (MAC sim, 64 B payload)",
+        "fig11_max_ack_timeouts_64",
+        Metric::MaxAckTimeouts,
+        cells,
+        "BEB ≈ 9 at n=150; STB worst despite its O(n) collision bound (§V-A(ii))",
+    )
+}
 
 /// Figure 11: maximum number of ACK timeouts suffered by any station.
 pub fn fig11(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 11 — max ACK timeouts per station vs n (MAC sim, 64 B payload)",
-        "fig11_max_ack_timeouts_64",
-        64,
-        Metric::MaxAckTimeouts,
-        "BEB ≈ 9 at n=150; STB worst despite its O(n) collision bound (§V-A(ii))",
+    fig11_report(opts, &fig11_cells(opts, None))
+}
+
+pub fn fig12_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::MaxAckTimeoutTimeUs])
+}
+
+pub fn fig12_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::MaxAckTimeoutTimeUs], range)
+}
+
+pub fn fig12_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 12 — max time waiting for ACK timeouts vs n (MAC sim, 64 B payload)",
+        "fig12_max_ack_timeout_time_64",
+        Metric::MaxAckTimeoutTimeUs,
+        cells,
+        "order-of-magnitude below transmission time; BEB ≈ 1,100 µs at n=150",
     )
 }
 
 /// Figure 12: ACK-timeout waiting time of the station from Figure 11.
 pub fn fig12(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 12 — max time waiting for ACK timeouts vs n (MAC sim, 64 B payload)",
-        "fig12_max_ack_timeout_time_64",
-        64,
-        Metric::MaxAckTimeoutTimeUs,
-        "order-of-magnitude below transmission time; BEB ≈ 1,100 µs at n=150",
-    )
+    fig12_report(opts, &fig12_cells(opts, None))
 }
 
 #[cfg(test)]

@@ -1,48 +1,80 @@
 //! Figures 3, 4 and 6 — contention-window slots in the MAC simulator.
+//!
+//! Each figure is split into a `*_cells` half (the sweep, optionally
+//! restricted to a cell range for process sharding) and a `*_report` half
+//! (pure function of the folded cells) — `repro merge` re-runs only the
+//! report half on reassembled shard state.
 
-use crate::aggregate::series_per_algorithm;
+use crate::aggregate::{series_per_algorithm, StatsCell};
 use crate::figures::shared::{
-    mac_stats, paper_algorithms, report_from_series, standard_mac_figure,
+    mac_grid, mac_stats_range, paper_algorithms, report_from_series, standard_mac_figure_from_cells,
 };
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::Metric;
+use contention_sim::engine::CellRange;
+
+pub fn fig3_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::CwSlots])
+}
+
+pub fn fig3_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::CwSlots], range)
+}
+
+pub fn fig3_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 3 — CW slots vs n (MAC sim, 64 B payload)",
+        "fig3_cw_slots_64",
+        Metric::CwSlots,
+        cells,
+        "LLB -49.4%, LB -68.2%, STB -83.0%",
+    )
+}
 
 /// Figure 3: CW slots, 64 B payload. The theory's prediction (Table II) —
 /// each newer algorithm beats BEB — must hold here (Result 1).
 pub fn fig3(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 3 — CW slots vs n (MAC sim, 64 B payload)",
-        "fig3_cw_slots_64",
-        64,
+    fig3_report(opts, &fig3_cells(opts, None))
+}
+
+pub fn fig4_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::CwSlots])
+}
+
+pub fn fig4_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::CwSlots], range)
+}
+
+pub fn fig4_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 4 — CW slots vs n (MAC sim, 1024 B payload)",
+        "fig4_cw_slots_1024",
         Metric::CwSlots,
-        "LLB -49.4%, LB -68.2%, STB -83.0%",
+        cells,
+        "LLB -54.2%, LB -69.9%, STB -84.2%",
     )
 }
 
 /// Figure 4: CW slots, 1024 B payload.
 pub fn fig4(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 4 — CW slots vs n (MAC sim, 1024 B payload)",
-        "fig4_cw_slots_1024",
-        1024,
-        Metric::CwSlots,
-        "LLB -54.2%, LB -69.9%, STB -84.2%",
-    )
+    fig4_report(opts, &fig4_cells(opts, None))
 }
 
-/// Figure 6: CW slots needed to finish the first n/2 packets (64 B).
-///
-/// The paper's two observations: (1) the *remaining* n/2 packets account for
-/// the bulk of the CW slots; (2) the improvement over BEB shrinks for the
-/// first half (stragglers hurt BEB most). We print the half-completion table
-/// plus the half/full ratio that supports observation (1).
-pub fn fig6(opts: &Options) -> Report {
-    let cells = mac_stats(opts, 64, &[Metric::HalfCwSlots, Metric::CwSlots]);
-    let half = series_per_algorithm(&cells, &paper_algorithms(), Metric::HalfCwSlots);
-    let full = series_per_algorithm(&cells, &paper_algorithms(), Metric::CwSlots);
+const FIG6_METRICS: [Metric; 2] = [Metric::HalfCwSlots, Metric::CwSlots];
+
+pub fn fig6_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &FIG6_METRICS)
+}
+
+pub fn fig6_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &FIG6_METRICS, range)
+}
+
+pub fn fig6_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    let half = series_per_algorithm(cells, &paper_algorithms(), Metric::HalfCwSlots);
+    let full = series_per_algorithm(cells, &paper_algorithms(), Metric::CwSlots);
     let mut report = report_from_series(
         "Figure 6 — CW slots to finish n/2 packets (MAC sim, 64 B payload)",
         "fig6_half_cw_slots_64",
@@ -61,6 +93,16 @@ pub fn fig6(opts: &Options) -> Report {
         ));
     }
     report
+}
+
+/// Figure 6: CW slots needed to finish the first n/2 packets (64 B).
+///
+/// The paper's two observations: (1) the *remaining* n/2 packets account for
+/// the bulk of the CW slots; (2) the improvement over BEB shrinks for the
+/// first half (stragglers hurt BEB most). We print the half-completion table
+/// plus the half/full ratio that supports observation (1).
+pub fn fig6(opts: &Options) -> Report {
+    fig6_report(opts, &fig6_cells(opts, None))
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub mod noisy;
 pub mod payload_regression;
 pub mod rts_cts;
 pub mod scale;
+pub mod sharding;
 pub mod shared;
 pub mod tables;
 pub mod total_time;

@@ -13,45 +13,61 @@
 //! BEB vs STB is the headline pair out here: Θ(n lg n) vs Θ(n) CW slots
 //! (Table II), so the gap must widen with n.
 
-use crate::aggregate::{series_per_algorithm, MetricStats};
+use crate::aggregate::{series_per_algorithm, StatsCell};
+use crate::figures::shared::fold_grid;
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::Metric;
-use crate::sweep::Sweep;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
+use contention_sim::engine::CellRange;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
 /// The cw-slot metrics the figure folds out per trial.
 const METRICS: [Metric; 2] = [Metric::CwSlots, Metric::Collisions];
 
-pub fn run(opts: &Options) -> Report {
-    let algorithms = vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth];
+pub fn grid(opts: &Options) -> GridMeta {
     // Default: the paper's ceiling, n = 12 500 … 10⁵. --full: n up to 10⁶.
     let ns: Vec<u32> = if opts.full {
         (1..=10).map(|i| i * 100_000).collect()
     } else {
         (1..=8).map(|i| i * 12_500).collect()
     };
-    let trials = opts.trials_or(5, 25);
-    let sweep = Sweep::<WindowedSim> {
-        experiment: "scale",
-        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
-        algorithms: algorithms.clone(),
-        ns: ns.clone(),
-        trials,
-        exec: opts.exec(),
-    };
-    let cells = sweep.run_fold(MetricStats::collector(&METRICS));
+    GridMeta {
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns,
+        trials: opts.trials_or(5, 25),
+        metrics: METRICS.to_vec(),
+    }
+}
+
+pub fn cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    fold_grid::<WindowedSim>(
+        "scale",
+        WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        &grid(opts),
+        opts,
+        range,
+    )
+}
+
+pub fn run(opts: &Options) -> Report {
+    report(opts, &cells(opts, None))
+}
+
+pub fn report(opts: &Options, cells: &[StatsCell]) -> Report {
+    let g = grid(opts);
+    let (algorithms, ns, trials) = (g.algorithms, g.ns, g.trials);
 
     let max_n = *ns.last().expect("non-empty grid");
     let retained: usize = cells.iter().map(|c| c.acc.retained_bytes()).sum();
     let mut report = Report::new(format!(
         "§V-A at scale — BEB vs STB CW slots, abstract simulator, n up to {max_n}"
     ));
-    let cw = series_per_algorithm(&cells, &algorithms, Metric::CwSlots);
+    let cw = series_per_algorithm(cells, &algorithms, Metric::CwSlots);
     report.line(render_series("n", &cw));
     let beb = cw[0].final_median();
     let stb = cw[1].final_median();
@@ -60,7 +76,7 @@ pub fn run(opts: &Options) -> Report {
          the gap widens with n)",
         percent_change(stb, beb)
     ));
-    let collisions = series_per_algorithm(&cells, &algorithms, Metric::Collisions);
+    let collisions = series_per_algorithm(cells, &algorithms, Metric::Collisions);
     report.line(format!(
         "collisions at n={max_n}: BEB {:.0} vs STB {:.0}",
         collisions[0].final_median(),

@@ -11,34 +11,83 @@ use crate::aggregate::{
 };
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::{Metric, TrialSummary};
 use crate::sweep::{ExecPolicy, Simulator, Sweep};
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_mac::{MacConfig, MacSim};
+use contention_sim::engine::CellRange;
 
 /// The paper's four head-to-head algorithms.
 pub fn paper_algorithms() -> Vec<AlgorithmKind> {
     AlgorithmKind::PAPER_SET.to_vec()
 }
 
-/// The shared MAC sweep for one payload size, folded down to `metrics`.
-pub fn mac_stats(opts: &Options, payload: u32, metrics: &[Metric]) -> Vec<StatsCell> {
+/// Runs (part of) one grid on any backend, folded down to the grid's
+/// metrics — the single engine-facing entry point every shardable figure
+/// rides, so the grid description (what `repro shard` partitions and what
+/// the artifact records) and the sweep that executes can never disagree.
+/// `range` restricts the run to those grid cells; `None` runs everything.
+pub fn fold_grid<S: Simulator>(
+    experiment: &'static str,
+    config: S::Config,
+    grid: &GridMeta,
+    opts: &Options,
+    range: Option<CellRange>,
+) -> Vec<StatsCell>
+where
+    TrialSummary: From<S::Output>,
+{
+    let mut exec = opts.exec();
+    exec.cells = range;
+    Sweep::<S> {
+        experiment,
+        config,
+        algorithms: grid.algorithms.clone(),
+        ns: grid.ns.clone(),
+        trials: grid.trials,
+        exec,
+    }
+    .run_fold(MetricStats::collector(&grid.metrics))
+}
+
+/// The grid every standard MAC figure sweeps (payload-independent).
+pub fn mac_grid(opts: &Options, metrics: &[Metric]) -> GridMeta {
+    GridMeta {
+        algorithms: paper_algorithms(),
+        ns: opts.mac_ns(),
+        trials: opts.trials_or(8, 30),
+        metrics: metrics.to_vec(),
+    }
+}
+
+/// The shared MAC sweep for one payload size, folded down to `metrics`,
+/// optionally restricted to a cell range.
+pub fn mac_stats_range(
+    opts: &Options,
+    payload: u32,
+    metrics: &[Metric],
+    range: Option<CellRange>,
+) -> Vec<StatsCell> {
     let experiment: &'static str = match payload {
         64 => "mac-64",
         1024 => "mac-1024",
         12 => "mac-12",
         _ => "mac-other",
     };
-    Sweep::<MacSim> {
+    fold_grid::<MacSim>(
         experiment,
-        config: MacConfig::paper(AlgorithmKind::Beb, payload),
-        algorithms: paper_algorithms(),
-        ns: opts.mac_ns(),
-        trials: opts.trials_or(8, 30),
-        exec: opts.exec(),
-    }
-    .run_fold(MetricStats::collector(metrics))
+        MacConfig::paper(AlgorithmKind::Beb, payload),
+        &mac_grid(opts, metrics),
+        opts,
+        range,
+    )
+}
+
+/// The shared MAC sweep for one payload size, folded down to `metrics`.
+pub fn mac_stats(opts: &Options, payload: u32, metrics: &[Metric]) -> Vec<StatsCell> {
+    mac_stats_range(opts, payload, metrics, None)
 }
 
 /// A one-cell sweep: all trials of a single `(config, n)` pair, streamed
@@ -68,6 +117,20 @@ where
     cells.remove(0).acc
 }
 
+/// Builds the standard figure report from already-folded cells — the step
+/// `repro merge` re-runs on reassembled shard state, so it must (and does)
+/// depend only on the cells, never on how they were executed.
+pub fn standard_mac_figure_from_cells(
+    title: &str,
+    csv_name: &str,
+    metric: Metric,
+    cells: &[StatsCell],
+    paper_percents: &str,
+) -> Report {
+    let series = series_per_algorithm(cells, &paper_algorithms(), metric);
+    report_from_series(title, csv_name, metric, &series, paper_percents)
+}
+
 /// Builds the standard figure report: a per-algorithm series table over `n`
 /// plus the paper's percent-change-vs-BEB line at the largest `n`.
 pub fn standard_mac_figure(
@@ -79,8 +142,7 @@ pub fn standard_mac_figure(
     paper_percents: &str,
 ) -> Report {
     let cells = mac_stats(opts, payload, &[metric]);
-    let series = series_per_algorithm(&cells, &paper_algorithms(), metric);
-    report_from_series(title, csv_name, metric, &series, paper_percents)
+    standard_mac_figure_from_cells(title, csv_name, metric, &cells, paper_percents)
 }
 
 /// Renders series + percent line into a [`Report`].

@@ -2,59 +2,109 @@
 //!
 //! These are the paper's headline reversal: the ordering of Figures 3–6
 //! flips once the cost of collisions is measured (Result 2).
+//!
+//! Each figure is split into `*_cells` (the sweep, cell-range aware for
+//! process sharding) and `*_report` (pure function of the folded cells).
 
-use crate::figures::shared::standard_mac_figure;
+use crate::aggregate::StatsCell;
+use crate::figures::shared::{mac_grid, mac_stats_range, standard_mac_figure_from_cells};
 use crate::figures::Report;
 use crate::options::Options;
+use crate::shard::GridMeta;
 use crate::summary::Metric;
+use contention_sim::engine::CellRange;
+
+pub fn fig7_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::TotalTimeUs])
+}
+
+pub fn fig7_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::TotalTimeUs], range)
+}
+
+pub fn fig7_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 7 — total time vs n (MAC sim, 64 B payload)",
+        "fig7_total_time_64",
+        Metric::TotalTimeUs,
+        cells,
+        "LLB +5.6%, LB +19.3%, STB +26.5% (ordering reversed!)",
+    )
+}
 
 /// Figure 7: total time, 64 B payload.
 pub fn fig7(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 7 — total time vs n (MAC sim, 64 B payload)",
-        "fig7_total_time_64",
-        64,
+    fig7_report(opts, &fig7_cells(opts, None))
+}
+
+pub fn fig8_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::TotalTimeUs])
+}
+
+pub fn fig8_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::TotalTimeUs], range)
+}
+
+pub fn fig8_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 8 — total time vs n (MAC sim, 1024 B payload)",
+        "fig8_total_time_1024",
         Metric::TotalTimeUs,
-        "LLB +5.6%, LB +19.3%, STB +26.5% (ordering reversed!)",
+        cells,
+        "LLB +9.1%, LB +25.4%, STB +35.4%",
     )
 }
 
 /// Figure 8: total time, 1024 B payload (larger packets favour BEB more).
 pub fn fig8(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 8 — total time vs n (MAC sim, 1024 B payload)",
-        "fig8_total_time_1024",
-        1024,
-        Metric::TotalTimeUs,
-        "LLB +9.1%, LB +25.4%, STB +35.4%",
+    fig8_report(opts, &fig8_cells(opts, None))
+}
+
+pub fn fig9_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::HalfTimeUs])
+}
+
+pub fn fig9_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::HalfTimeUs], range)
+}
+
+pub fn fig9_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 9 — time for n/2 packets vs n (MAC sim, 64 B payload)",
+        "fig9_half_time_64",
+        Metric::HalfTimeUs,
+        cells,
+        "LLB +13.1%, LB +17.3%, STB +25.4%",
     )
 }
 
 /// Figure 9: time until n/2 packets complete, 64 B — stragglers are *not*
 /// the explanation; BEB leads on the first half too.
 pub fn fig9(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 9 — time for n/2 packets vs n (MAC sim, 64 B payload)",
-        "fig9_half_time_64",
-        64,
+    fig9_report(opts, &fig9_cells(opts, None))
+}
+
+pub fn fig10_grid(opts: &Options) -> GridMeta {
+    mac_grid(opts, &[Metric::HalfTimeUs])
+}
+
+pub fn fig10_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::HalfTimeUs], range)
+}
+
+pub fn fig10_report(_opts: &Options, cells: &[StatsCell]) -> Report {
+    standard_mac_figure_from_cells(
+        "Figure 10 — time for n/2 packets vs n (MAC sim, 1024 B payload)",
+        "fig10_half_time_1024",
         Metric::HalfTimeUs,
-        "LLB +13.1%, LB +17.3%, STB +25.4%",
+        cells,
+        "LLB +10.1%, LB +16.6%, STB +26.6%",
     )
 }
 
 /// Figure 10: time until n/2 packets complete, 1024 B.
 pub fn fig10(opts: &Options) -> Report {
-    standard_mac_figure(
-        opts,
-        "Figure 10 — time for n/2 packets vs n (MAC sim, 1024 B payload)",
-        "fig10_half_time_1024",
-        1024,
-        Metric::HalfTimeUs,
-        "LLB +10.1%, LB +16.6%, STB +26.6%",
-    )
+    fig10_report(opts, &fig10_cells(opts, None))
 }
 
 #[cfg(test)]

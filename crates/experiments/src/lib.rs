@@ -20,6 +20,10 @@
 //! * [`table`] — plain-text table rendering for the terminal.
 //! * [`csvout`] — CSV emission for plotting.
 //! * [`jsonout`] — JSON emission (`repro --json`), pinned by golden files.
+//! * [`jsonin`] — the matching round-trip-exact JSON reader.
+//! * [`shard`] — process-sharded sweep state (`shard_state/v1` artifacts):
+//!   `repro shard` serializes per-cell accumulator buffers, `repro merge`
+//!   recombines them into reports byte-identical to a single-process run.
 //! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids,
 //!   `--threads` / `--batch` execution knobs).
 //! * [`cli`] — the `repro` entry point; the binary itself lives in the
@@ -30,8 +34,10 @@ pub mod benchmark;
 pub mod cli;
 pub mod csvout;
 pub mod figures;
+pub mod jsonin;
 pub mod jsonout;
 pub mod options;
+pub mod shard;
 pub mod summary;
 pub mod sweep;
 pub mod table;

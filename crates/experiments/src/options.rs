@@ -25,6 +25,11 @@ pub struct Options {
     pub json: bool,
     /// Bench smoke mode: tiny iteration counts, schema-only value.
     pub quick: bool,
+    /// `--shard i/N`: run only shard `i` of `N` (the `shard` subcommand).
+    pub shard: Option<(u32, u32)>,
+    /// Positional arguments after the subcommand: the experiment name for
+    /// `shard`, the artifact directories for `merge`. Empty elsewhere.
+    pub inputs: Vec<String>,
 }
 
 impl Options {
@@ -58,6 +63,7 @@ impl Options {
         ExecPolicy {
             threads: self.threads,
             batch: self.batch,
+            cells: None,
             progress: self.full,
         }
     }
@@ -92,12 +98,18 @@ impl Options {
                     }
                     opts.batch = Some(batch);
                 }
+                "--shard" => {
+                    let v = it.next().ok_or("--shard needs a value like 0/4")?;
+                    opts.shard = Some(Self::parse_shard(v)?);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
                 name => {
-                    if sub.replace(name.to_string()).is_some() {
-                        return Err(format!("unexpected extra argument {name:?}"));
+                    if sub.is_none() {
+                        sub = Some(name.to_string());
+                    } else {
+                        opts.inputs.push(name.to_string());
                     }
                 }
             }
@@ -105,6 +117,18 @@ impl Options {
         let sub = sub.ok_or("missing subcommand")?;
         opts.validate(&sub)?;
         Ok((sub, opts))
+    }
+
+    /// Parses a `--shard` value: `i/N` with `i < N`, `N ≥ 1`.
+    fn parse_shard(v: &str) -> Result<(u32, u32), String> {
+        let bad = || format!("bad shard spec {v:?} (expected i/N with i < N, N >= 1)");
+        let (index, of) = v.split_once('/').ok_or_else(bad)?;
+        let index: u32 = index.parse().map_err(|_| bad())?;
+        let of: u32 = of.parse().map_err(|_| bad())?;
+        if of == 0 || index >= of {
+            return Err(bad());
+        }
+        Ok((index, of))
     }
 
     /// Flag-combination validation, run up front (at parse time) so a bad
@@ -123,6 +147,66 @@ impl Options {
         // every figure needs a directory to put its JSON series in.
         if self.json && self.out_dir.is_none() && sub != "bench" {
             return Err("--json needs --out DIR to write into".to_string());
+        }
+        if self.shard.is_some() && sub != "shard" {
+            return Err(format!("--shard only applies to `shard`, not {sub:?}"));
+        }
+        match sub {
+            "shard" => {
+                // A partial run: exactly one experiment, explicit shard
+                // coordinates, and a directory for the state artifact.
+                if self.inputs.len() != 1 {
+                    return Err(
+                        "shard needs exactly one experiment, e.g. `repro shard fig5 \
+                         --shard 0/3 --out DIR`"
+                            .to_string(),
+                    );
+                }
+                if self.shard.is_none() {
+                    return Err("shard needs --shard i/N".to_string());
+                }
+                if self.out_dir.is_none() {
+                    return Err("shard needs --out DIR for its state artifact".to_string());
+                }
+                if self.json {
+                    return Err(
+                        "shard always writes a JSON state artifact; drop --json".to_string()
+                    );
+                }
+            }
+            "merge" => {
+                // Merge folds saved state — no trials run, so every
+                // execution knob is meaningless and rejecting it up front
+                // beats silently ignoring it.
+                if self.inputs.is_empty() {
+                    return Err(
+                        "merge needs at least one artifact directory, e.g. `repro merge \
+                         outA outB --out DIR`"
+                            .to_string(),
+                    );
+                }
+                if self.out_dir.is_none() {
+                    return Err("merge needs --out DIR for its reports".to_string());
+                }
+                for (set, flag) in [
+                    (self.threads.is_some(), "--threads"),
+                    (self.batch.is_some(), "--batch"),
+                    (self.trials.is_some(), "--trials"),
+                    (self.full, "--full"),
+                ] {
+                    if set {
+                        return Err(format!(
+                            "{flag} does not apply to `merge` (merging folds saved shard \
+                             state; no trials run)"
+                        ));
+                    }
+                }
+            }
+            _ => {
+                if let Some(extra) = self.inputs.first() {
+                    return Err(format!("unexpected extra argument {extra:?}"));
+                }
+            }
         }
         Ok(())
     }
@@ -201,6 +285,71 @@ mod tests {
         assert!(Options::parse(&strs(&["fig3", "fig4"])).is_err());
         assert!(Options::parse(&strs(&["fig3", "--trials", "abc"])).is_err());
         assert!(Options::parse(&strs(&["fig3", "--batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        let (sub, opts) = Options::parse(&strs(&[
+            "shard", "fig5", "--shard", "1/3", "--out", "/tmp/s",
+        ]))
+        .unwrap();
+        assert_eq!(sub, "shard");
+        assert_eq!(opts.inputs, vec!["fig5".to_string()]);
+        assert_eq!(opts.shard, Some((1, 3)));
+        // i >= N, N = 0, and junk are all parse-time errors.
+        for bad in ["3/3", "4/3", "0/0", "x/2", "1:2", "2"] {
+            let err = Options::parse(&strs(&["shard", "fig5", "--shard", bad, "--out", "/t"]))
+                .unwrap_err();
+            assert!(err.contains("bad shard spec"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_mode_requires_its_pieces_up_front() {
+        // Missing experiment / --shard / --out each fail at parse time.
+        assert!(Options::parse(&strs(&["shard", "--shard", "0/2", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["shard", "fig5", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["shard", "fig5", "--shard", "0/2"])).is_err());
+        // Two experiments is ambiguous.
+        assert!(Options::parse(&strs(&[
+            "shard", "fig5", "fig7", "--shard", "0/2", "--out", "/t"
+        ]))
+        .is_err());
+        // The artifact is always JSON; --json would suggest otherwise.
+        assert!(Options::parse(&strs(&[
+            "shard", "fig5", "--shard", "0/2", "--out", "/t", "--json"
+        ]))
+        .is_err());
+        // --shard outside the shard subcommand is rejected.
+        let err = Options::parse(&strs(&["fig5", "--shard", "0/2"])).unwrap_err();
+        assert!(err.contains("only applies to `shard`"), "{err}");
+    }
+
+    #[test]
+    fn merge_mode_takes_dirs_and_rejects_execution_knobs() {
+        let (sub, opts) =
+            Options::parse(&strs(&["merge", "a", "b", "c", "--out", "/t", "--json"])).unwrap();
+        assert_eq!(sub, "merge");
+        assert_eq!(opts.inputs, vec!["a", "b", "c"]);
+        assert!(opts.json);
+        // No inputs / no --out fail at parse time.
+        assert!(Options::parse(&strs(&["merge", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["merge", "a"])).is_err());
+        // Merge runs no trials: every execution knob is rejected, not
+        // silently ignored.
+        for flags in [
+            vec!["merge", "a", "--out", "/t", "--threads", "2"],
+            vec!["merge", "a", "--out", "/t", "--batch", "8"],
+            vec!["merge", "a", "--out", "/t", "--trials", "5"],
+            vec!["merge", "a", "--out", "/t", "--full"],
+            vec!["merge", "a", "--out", "/t", "--shard", "0/2"],
+        ] {
+            let err = Options::parse(&strs(&flags)).unwrap_err();
+            assert!(
+                err.contains("does not apply to `merge`") || err.contains("only applies to"),
+                "{flags:?}: {err}"
+            );
+        }
     }
 
     #[test]

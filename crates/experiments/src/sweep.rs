@@ -12,7 +12,8 @@
 //! * `Sweep::<DynamicSim>` — long-lived traffic (uses [`Sweep::run_raw`]).
 
 pub use contention_sim::engine::{
-    cell, folded, run_trial, Accumulator, Cell, ExecPolicy, FoldedCell, Simulator, Sweep, SweepCell,
+    cell, folded, run_trial, Accumulator, Cell, CellRange, ExecPolicy, FoldedCell,
+    MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
 };
 
 #[cfg(test)]

@@ -128,9 +128,57 @@ pub trait Accumulator<T> {
     fn record(&mut self, trial: u32, value: T);
 }
 
-/// How a sweep executes: worker threads, trials per work-item claim, and
-/// whether to report progress. Orthogonal to *what* the sweep computes —
-/// results are identical for every policy.
+/// The merge side of the process-sharding seam, re-exported next to
+/// [`Accumulator`]. Defined in `contention-core` so collector crates can
+/// implement it without depending on the engine.
+pub use contention_core::merge::MergeableAccumulator;
+
+/// A half-open range `[lo, hi)` of grid-cell indices — the unit of
+/// process-level sharding.
+///
+/// Cells are indexed in grid order (algorithms outer, `ns` inner), the same
+/// order [`Sweep`] returns them in. Restricting a sweep to a cell range
+/// changes *which* cells run, never what any cell computes: per-trial RNG
+/// streams depend only on `(experiment, algorithm, n, trial)`, so the cells
+/// of a ranged run are bit-identical to the same cells of a full run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRange {
+    /// First cell index covered.
+    pub lo: usize,
+    /// One past the last cell index covered.
+    pub hi: usize,
+}
+
+impl CellRange {
+    /// The contiguous range shard `index` of `of` covers in a grid of
+    /// `cells` cells — the balanced partition `[i·C/N, (i+1)·C/N)`. Every
+    /// shard is within one cell of the same size, and the `of` ranges tile
+    /// `[0, cells)` exactly.
+    pub fn shard(cells: usize, index: usize, of: usize) -> CellRange {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        CellRange {
+            lo: index * cells / of,
+            hi: (index + 1) * cells / of,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// How a sweep executes: worker threads, trials per work-item claim, cell
+/// range, and whether to report progress. Orthogonal to *what* the sweep
+/// computes — results are identical for every policy (a cell range selects a
+/// subset of the cells; it never changes their contents).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecPolicy {
     /// Worker threads (`None` = all available, `Some(0|1)` = sequential).
@@ -138,6 +186,10 @@ pub struct ExecPolicy {
     /// Trials claimed per scheduling step (`None` = auto: ~32 claims per
     /// worker, capped at 1024). Purely a performance knob.
     pub batch: Option<usize>,
+    /// Run only the grid cells in `[lo, hi)` (`None` = the whole grid) —
+    /// the process-sharding seam: each shard folds its cell range, and the
+    /// per-cell accumulator states merge back losslessly.
+    pub cells: Option<CellRange>,
     /// Report trials-completed / ETA on stderr (only when stderr is a TTY).
     pub progress: bool,
 }
@@ -154,6 +206,12 @@ impl ExecPolicy {
     /// Same policy with an explicit batch size.
     pub fn with_batch(mut self, batch: usize) -> ExecPolicy {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Same policy restricted to the grid cells in `range`.
+    pub fn with_cells(mut self, range: CellRange) -> ExecPolicy {
+        self.cells = Some(range);
         self
     }
 }
@@ -222,6 +280,12 @@ impl<S: Simulator> std::fmt::Debug for Sweep<S> {
 }
 
 impl<S: Simulator> Sweep<S> {
+    /// Number of `(algorithm, n)` cells in the full grid — what
+    /// [`CellRange::shard`] partitions.
+    pub fn cell_count(&self) -> usize {
+        self.algorithms.len() * self.ns.len()
+    }
+
     /// Cells are keyed by `(algorithm, n)` grid position; a duplicate grid
     /// entry would silently split a cell's trials across two cells.
     fn validate_grid(&self) {
@@ -249,11 +313,21 @@ impl<S: Simulator> Sweep<S> {
         self.validate_grid();
         let tag = experiment_tag(self.experiment);
         let trials = self.trials as usize;
-        let grid: Vec<(AlgorithmKind, u32)> = self
+        let mut grid: Vec<(AlgorithmKind, u32)> = self
             .algorithms
             .iter()
             .flat_map(|&alg| self.ns.iter().map(move |&n| (alg, n)))
             .collect();
+        if let Some(range) = self.exec.cells {
+            assert!(
+                range.lo <= range.hi && range.hi <= grid.len(),
+                "cell range [{}, {}) outside the {}-cell grid",
+                range.lo,
+                range.hi,
+                grid.len()
+            );
+            grid = grid[range.lo..range.hi].to_vec();
+        }
         let accumulators: Vec<Mutex<A>> = grid
             .iter()
             .map(|&(alg, n)| Mutex::new(init(alg, n, self.trials)))
@@ -355,19 +429,28 @@ where
 }
 
 /// Position-addressed slots: the accumulator behind the collect-style API.
-/// Arrival order cannot matter because trial `t` lands in slot `t`.
-struct Slots<T> {
+/// Arrival order cannot matter because trial `t` lands in slot `t` — which
+/// also makes two disjoint partial fills mergeable without ambiguity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slots<T> {
     slots: Vec<Option<T>>,
 }
 
 impl<T> Slots<T> {
-    fn new(trials: u32) -> Slots<T> {
+    /// Slots awaiting `trials` recordings.
+    pub fn new(trials: u32) -> Slots<T> {
         Slots {
             slots: (0..trials).map(|_| None).collect(),
         }
     }
 
-    fn into_vec(self) -> Vec<T> {
+    /// Number of recorded trials.
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The complete trial-ordered values; panics if any trial is missing.
+    pub fn into_vec(self) -> Vec<T> {
         self.slots
             .into_iter()
             .map(|slot| slot.expect("missing trial"))
@@ -380,6 +463,22 @@ impl<T> Accumulator<T> for Slots<T> {
         let slot = &mut self.slots[trial as usize];
         assert!(slot.is_none(), "trial {trial} recorded twice");
         *slot = Some(value);
+    }
+}
+
+impl<T> MergeableAccumulator for Slots<T> {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "cannot merge slots of different trial counts"
+        );
+        for (trial, (slot, value)) in self.slots.iter_mut().zip(other.slots).enumerate() {
+            if let Some(value) = value {
+                assert!(slot.is_none(), "trial {trial} recorded in both operands");
+                *slot = Some(value);
+            }
+        }
     }
 }
 
@@ -656,6 +755,76 @@ mod tests {
         let built = SCRATCH_BUILDS.load(std::sync::atomic::Ordering::SeqCst) - before;
         assert_eq!(cells.len(), 2);
         assert_eq!(built, 1, "32 sequential trials must share one arena");
+    }
+
+    #[test]
+    fn cell_range_runs_are_slices_of_the_full_grid() {
+        let full = toy_sweep(ExecPolicy::threads(2)).run();
+        let cells = full.len();
+        for of in [1usize, 2, 3, 7] {
+            let mut pieces: Vec<SweepCell> = Vec::new();
+            for index in 0..of {
+                let range = CellRange::shard(cells, index, of);
+                let exec = ExecPolicy::threads(2).with_batch(3).with_cells(range);
+                let part = toy_sweep(exec).run();
+                assert_eq!(part.len(), range.len());
+                pieces.extend(part);
+            }
+            assert_eq!(pieces, full, "sharding {of} ways changed results");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_grid_exactly() {
+        for cells in [0usize, 1, 5, 6, 7, 100] {
+            for of in [1usize, 2, 3, 7, 13] {
+                let mut covered = 0;
+                for index in 0..of {
+                    let range = CellRange::shard(cells, index, of);
+                    assert_eq!(range.lo, covered, "gap or overlap at shard {index}/{of}");
+                    covered = range.hi;
+                }
+                assert_eq!(covered, cells, "shards of {cells} cells do not tile");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_bounds_cell_range_panics() {
+        let exec = ExecPolicy::threads(1).with_cells(CellRange { lo: 0, hi: 99 });
+        let _ = toy_sweep(exec).run();
+    }
+
+    #[test]
+    fn slots_merge_disjoint_partial_fills() {
+        let mut a: Slots<u32> = Slots::new(4);
+        let mut b: Slots<u32> = Slots::new(4);
+        a.record(0, 10);
+        a.record(2, 30);
+        b.record(1, 20);
+        b.record(3, 40);
+        assert_eq!(a.filled(), 2);
+        a.merge(b);
+        assert_eq!(a.filled(), 4);
+        assert_eq!(a.into_vec(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded in both")]
+    fn slots_merge_rejects_overlap() {
+        let mut a: Slots<u32> = Slots::new(2);
+        let mut b: Slots<u32> = Slots::new(2);
+        a.record(0, 1);
+        b.record(0, 2);
+        a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different trial counts")]
+    fn slots_merge_rejects_shape_mismatch() {
+        let mut a: Slots<u32> = Slots::new(2);
+        a.merge(Slots::new(3));
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod progress;
 pub mod summary;
 
 pub use engine::{
-    cell, folded, run_trial, Accumulator, Cell, ExecPolicy, FoldedCell, Simulator, Sweep, SweepCell,
+    cell, folded, run_trial, Accumulator, Cell, CellRange, ExecPolicy, FoldedCell,
+    MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
 };
 pub use event::{EventQueue, EventToken};
 pub use parallel::{auto_batch, parallel_for_batches};

@@ -115,6 +115,30 @@ impl Metric {
         }
     }
 
+    /// Stable machine-readable identifier, round-trippable through
+    /// [`Metric::from_key`] — what serialized artifacts (e.g. the
+    /// `shard_state/v1` files) store instead of the display label.
+    pub fn key(self) -> &'static str {
+        match self {
+            Metric::Successes => "successes",
+            Metric::CwSlots => "cw_slots",
+            Metric::HalfCwSlots => "half_cw_slots",
+            Metric::TotalTimeUs => "total_time_us",
+            Metric::HalfTimeUs => "half_time_us",
+            Metric::Collisions => "collisions",
+            Metric::CollidingStations => "colliding_stations",
+            Metric::AckTimeouts => "ack_timeouts",
+            Metric::MaxAckTimeouts => "max_ack_timeouts",
+            Metric::MaxAckTimeoutTimeUs => "max_ack_timeout_time_us",
+            Metric::MedianEstimate => "median_estimate",
+        }
+    }
+
+    /// Parses a [`Metric::key`] string back into the metric.
+    pub fn from_key(key: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.key() == key)
+    }
+
     /// Axis label used in table headers.
     pub fn label(self) -> &'static str {
         match self {
@@ -185,6 +209,14 @@ mod tests {
         for (i, m) in Metric::ALL.iter().enumerate() {
             assert!(!Metric::ALL[..i].contains(m), "duplicate {m:?} in ALL");
         }
+    }
+
+    #[test]
+    fn keys_round_trip_every_metric() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::from_key(m.key()), Some(m), "{m:?}");
+        }
+        assert_eq!(Metric::from_key("not_a_metric"), None);
     }
 
     #[test]

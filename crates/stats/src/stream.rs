@@ -13,11 +13,16 @@
 //!   and commutative, so this stays deterministic too. For sweeps that only
 //!   need bounds or a completion count.
 
+use contention_core::merge::MergeableAccumulator;
+
 /// A flat per-trial sample buffer addressed by trial index.
 ///
 /// Unfilled slots hold NaN as a sentinel; [`StreamingSample::values`]
 /// asserts completeness, which doubles as an exactly-once check on the
-/// engine's delivery.
+/// engine's delivery. The same sentinel is what makes partial buffers
+/// mergeable across processes: a merge unions the filled slots of two
+/// buffers and rejects any slot both sides filled, so the exactly-once
+/// invariant extends across shard boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingSample {
     values: Vec<f64>,
@@ -65,8 +70,59 @@ impl StreamingSample {
         &self.values
     }
 
+    /// Number of trials recorded so far.
+    pub fn filled(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_nan()).count()
+    }
+
+    /// The raw buffer, NaN sentinels included — what a partial-state
+    /// artifact serializes (NaN ↔ JSON `null`).
+    pub fn raw(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a (possibly partial) buffer from its raw image — the
+    /// deserialization side of [`StreamingSample::raw`]. NaN slots are
+    /// "not yet recorded".
+    pub fn from_raw(values: Vec<f64>) -> StreamingSample {
+        StreamingSample { values }
+    }
+
+    /// Fallible merge: unions the filled slots of `other` into `self`,
+    /// erroring (instead of panicking) on a shape mismatch or a slot both
+    /// operands filled — for merging untrusted on-disk shard state.
+    pub fn try_merge(&mut self, other: StreamingSample) -> Result<(), String> {
+        if self.values.len() != other.values.len() {
+            return Err(format!(
+                "cannot merge samples of {} and {} trials",
+                self.values.len(),
+                other.values.len()
+            ));
+        }
+        for (trial, (slot, value)) in self.values.iter_mut().zip(&other.values).enumerate() {
+            if value.is_nan() {
+                continue;
+            }
+            if !slot.is_nan() {
+                return Err(format!("trial {trial} recorded by more than one operand"));
+            }
+            *slot = *value;
+        }
+        Ok(())
+    }
+
     /// Bytes this collector retains per trial: one `f64`.
     pub const BYTES_PER_TRIAL: usize = std::mem::size_of::<f64>();
+}
+
+impl MergeableAccumulator for StreamingSample {
+    /// Slot-wise union of two disjoint partial fills. Associative and
+    /// commutative because each slot is written by exactly one operand and
+    /// the write is a plain copy — no arithmetic, so no rounding that could
+    /// depend on merge order.
+    fn merge(&mut self, other: Self) {
+        self.try_merge(other).expect("mergeable samples");
+    }
 }
 
 /// Exact count / min / max in constant memory.
@@ -115,6 +171,25 @@ impl Extrema {
     /// Largest recorded value (−∞ before any recording).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Rebuilds the state from its three fields — the deserialization side
+    /// of a partial-state artifact.
+    pub fn from_parts(count: u64, min: f64, max: f64) -> Extrema {
+        Extrema { count, min, max }
+    }
+}
+
+impl MergeableAccumulator for Extrema {
+    /// Exact component-wise combine: counts add, bounds take min/max. All
+    /// three operations are associative and commutative with no rounding,
+    /// so shard merges in any grouping reproduce the sequential fold
+    /// bit-for-bit. (The ±∞ identities of a fresh accumulator make the
+    /// empty shard a no-op.)
+    fn merge(&mut self, other: Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -193,6 +268,83 @@ mod tests {
         assert_eq!(a.count(), 4);
         assert_eq!(a.min(), -1.0);
         assert_eq!(a.max(), 7.5);
+    }
+
+    #[test]
+    fn sample_merge_unions_disjoint_fills() {
+        let mut evens = StreamingSample::new(4);
+        let mut odds = StreamingSample::new(4);
+        evens.record(0, 1.0);
+        evens.record(2, 3.0);
+        odds.record(1, 2.0);
+        odds.record(3, 4.0);
+        assert_eq!(evens.filled(), 2);
+        evens.merge(odds);
+        assert!(evens.is_complete());
+        assert_eq!(evens.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_try_merge_rejects_overlap_and_shape() {
+        let mut a = StreamingSample::new(2);
+        let mut b = StreamingSample::new(2);
+        a.record(0, 1.0);
+        b.record(0, 2.0);
+        let err = a.clone().try_merge(b).unwrap_err();
+        assert!(err.contains("trial 0"), "{err}");
+        let err = a.try_merge(StreamingSample::new(3)).unwrap_err();
+        assert!(err.contains("2 and 3 trials"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one operand")]
+    fn sample_merge_panics_on_double_delivery() {
+        let mut a = StreamingSample::new(1);
+        let mut b = StreamingSample::new(1);
+        a.record(0, 1.0);
+        b.record(0, 1.0);
+        a.merge(b);
+    }
+
+    #[test]
+    fn raw_round_trips_partial_buffers() {
+        // NaN sentinels defeat PartialEq, so compare the bit images.
+        let mut s = StreamingSample::new(3);
+        s.record(1, 7.5);
+        let rebuilt = StreamingSample::from_raw(s.raw().to_vec());
+        let bits = |x: &StreamingSample| x.raw().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&rebuilt), bits(&s));
+        assert_eq!(rebuilt.filled(), 1);
+    }
+
+    #[test]
+    fn extrema_merge_matches_sequential_fold() {
+        let values = [3.0, -1.0, 7.5, 0.0, 2.5];
+        let mut sequential = Extrema::new();
+        for v in values {
+            sequential.record(v);
+        }
+        let mut left = Extrema::new();
+        let mut right = Extrema::new();
+        for v in &values[..2] {
+            left.record(*v);
+        }
+        for v in &values[2..] {
+            right.record(*v);
+        }
+        left.merge(right);
+        assert_eq!(left, sequential);
+        // Merging an empty accumulator is a no-op (±∞ identities).
+        left.merge(Extrema::new());
+        assert_eq!(left, sequential);
+    }
+
+    #[test]
+    fn extrema_from_parts_round_trips() {
+        let mut e = Extrema::new();
+        e.record(4.0);
+        e.record(-2.0);
+        assert_eq!(Extrema::from_parts(e.count(), e.min(), e.max()), e);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Shard-equivalence matrix: a sweep split into cell-range shards, each
+//! shard serialized to a `shard_state/v1` artifact, the artifacts shuffled
+//! and merged, must reproduce the single-process `run_fold` output
+//! **bit-for-bit** — for every backend, shard count and batch size.
+//!
+//! This is the correctness contract of process-sharded sweeps: the merge
+//! seam may never change a number, so a cluster-run figure and a laptop-run
+//! figure are the same figure.
+
+use contention_experiments::aggregate::{MetricStats, StatsCell};
+use contention_experiments::shard::{merge_states, GridMeta, ShardState};
+use contention_experiments::summary::Metric;
+use contention_resolution::prelude::*;
+use contention_slotted::noisy::NoisyConfig;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+const BATCHES: [usize; 2] = [1, 16];
+const METRICS: [Metric; 3] = [Metric::CwSlots, Metric::TotalTimeUs, Metric::Collisions];
+
+fn exec(batch: usize) -> ExecPolicy {
+    ExecPolicy::threads(2).with_batch(batch)
+}
+
+/// The bit image of every cell's every buffer, plus coordinates.
+fn bits(cells: &[StatsCell]) -> Vec<(String, u32, Vec<Vec<u64>>)> {
+    cells
+        .iter()
+        .map(|c| {
+            (
+                c.algorithm.key(),
+                c.n,
+                c.acc
+                    .raw_samples()
+                    .iter()
+                    .map(|s| s.raw().iter().map(|v| v.to_bits()).collect())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the full matrix for one backend: golden single-process fold vs
+/// shuffled shard/serialize/parse/merge, across shard counts and batches.
+fn assert_shard_equivalence<S: Simulator>(sweep_for: impl Fn(ExecPolicy) -> Sweep<S>)
+where
+    contention_experiments::summary::TrialSummary: From<S::Output>,
+{
+    let golden_sweep = sweep_for(exec(16));
+    let grid = GridMeta {
+        algorithms: golden_sweep.algorithms.clone(),
+        ns: golden_sweep.ns.clone(),
+        trials: golden_sweep.trials,
+        metrics: METRICS.to_vec(),
+    };
+    let golden = golden_sweep.run_fold(MetricStats::collector(&METRICS));
+    let golden_bits = bits(&golden);
+    let cells = grid.cell_count();
+
+    for of in SHARD_COUNTS {
+        for batch in BATCHES {
+            // One process per shard: run the cell range, serialize.
+            let mut artifacts: Vec<String> = (0..of)
+                .map(|index| {
+                    let range = CellRange::shard(cells, index, of);
+                    let part = sweep_for(exec(batch).with_cells(range))
+                        .run_fold(MetricStats::collector(&METRICS));
+                    assert_eq!(part.len(), range.len(), "{}: shard size", S::NAME);
+                    ShardState::from_cells(
+                        "shard-eq",
+                        false,
+                        (index as u32, of as u32),
+                        &grid,
+                        &part,
+                    )
+                    .to_json()
+                })
+                .collect();
+            // Out-of-order merge: rotate and reverse the artifact list.
+            artifacts.rotate_left(of / 2);
+            artifacts.reverse();
+            let states: Vec<ShardState> = artifacts
+                .iter()
+                .map(|text| ShardState::parse(text).expect("artifact parses"))
+                .collect();
+            let merged = merge_states(states).expect("artifacts are compatible");
+            assert!(merged.is_complete(), "{}: incomplete merge", S::NAME);
+            assert_eq!(
+                bits(&merged.into_cells()),
+                golden_bits,
+                "{}: merged shards diverged from the single-process fold \
+                 (shards={of}, batch={batch})",
+                S::NAME
+            );
+        }
+    }
+}
+
+/// The abstract windowed simulator.
+#[test]
+fn windowed_shards_merge_bit_identically() {
+    assert_shard_equivalence(|exec| Sweep::<WindowedSim> {
+        experiment: "shard-eq-windowed",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![30, 80, 150],
+        trials: 4,
+        exec,
+    });
+}
+
+/// The noisy-channel (softened collisions) simulator.
+#[test]
+fn noisy_shards_merge_bit_identically() {
+    assert_shard_equivalence(|exec| Sweep::<NoisySim> {
+        experiment: "shard-eq-noisy",
+        config: NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::softened(0.3)),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogBackoff],
+        ns: vec![25, 60, 110],
+        trials: 4,
+        exec,
+    });
+}
+
+/// The event-driven 802.11g MAC simulator.
+#[test]
+fn mac_shards_merge_bit_identically() {
+    assert_shard_equivalence(|exec| Sweep::<MacSim> {
+        experiment: "shard-eq-mac",
+        config: MacConfig::paper(AlgorithmKind::Beb, 64),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![6, 14, 22],
+        trials: 4,
+        exec,
+    });
+}
+
+/// Duplicate artifacts must be rejected, not double-counted — merging is a
+/// union of exactly-once deliveries, never idempotent summation.
+#[test]
+fn duplicate_shard_artifacts_are_rejected() {
+    let sweep = Sweep::<WindowedSim> {
+        experiment: "shard-eq-dup",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb],
+        ns: vec![20, 40],
+        trials: 3,
+        exec: ExecPolicy::threads(1),
+    };
+    let grid = GridMeta {
+        algorithms: sweep.algorithms.clone(),
+        ns: sweep.ns.clone(),
+        trials: sweep.trials,
+        metrics: vec![Metric::CwSlots],
+    };
+    let shard = |index: usize| {
+        let range = CellRange::shard(grid.cell_count(), index, 2);
+        let part = sweep
+            .clone()
+            .run_fold(MetricStats::collector(&[Metric::CwSlots]));
+        let part: Vec<StatsCell> = part
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| range.lo <= *i && *i < range.hi)
+            .map(|(_, c)| c)
+            .collect();
+        ShardState::from_cells("shard-eq-dup", false, (index as u32, 2), &grid, &part)
+    };
+    let err = merge_states(vec![shard(0), shard(0)]).unwrap_err();
+    assert!(err.contains("duplicate shard"), "{err}");
+    // And mismatched sweeps are rejected even at matching shard counts.
+    let mut other = shard(1);
+    other.grid.trials = 99;
+    let err = merge_states(vec![shard(0), other]).unwrap_err();
+    assert!(err.contains("different sweep grid"), "{err}");
+}
+
+/// An empty shard (more shards than cells) serializes, parses and merges as
+/// a no-op — the N > cells edge the balanced partition permits.
+#[test]
+fn empty_shards_are_harmless() {
+    let sweep_for = |exec: ExecPolicy| Sweep::<WindowedSim> {
+        experiment: "shard-eq-empty",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb],
+        ns: vec![15, 35],
+        trials: 2,
+        exec,
+    };
+    let grid = GridMeta {
+        algorithms: vec![AlgorithmKind::Beb],
+        ns: vec![15, 35],
+        trials: 2,
+        metrics: vec![Metric::CwSlots],
+    };
+    let golden =
+        sweep_for(ExecPolicy::threads(1)).run_fold(MetricStats::collector(&[Metric::CwSlots]));
+    // 5 shards over 2 cells: three shards are empty.
+    let states: Vec<ShardState> = (0..5)
+        .map(|i| {
+            let range = CellRange::shard(2, i, 5);
+            let part = sweep_for(ExecPolicy::threads(1).with_cells(range))
+                .run_fold(MetricStats::collector(&[Metric::CwSlots]));
+            let text = ShardState::from_cells("shard-eq-empty", false, (i as u32, 5), &grid, &part)
+                .to_json();
+            ShardState::parse(&text).expect("round trip")
+        })
+        .collect();
+    assert_eq!(states.iter().filter(|s| s.cells.is_empty()).count(), 3);
+    let merged = merge_states(states).expect("compatible");
+    assert!(merged.is_complete());
+    let merged_cells = merged.into_cells();
+    for (m, g) in merged_cells.iter().zip(&golden) {
+        assert_eq!((m.algorithm, m.n), (g.algorithm, g.n));
+        assert_eq!(m.acc.sample(Metric::CwSlots), g.acc.sample(Metric::CwSlots));
+    }
+}
