@@ -8,13 +8,15 @@
 //! iteration counts.
 
 use contention_core::algorithm::AlgorithmKind;
+use contention_core::channel::ChannelModel;
 use contention_core::time::Nanos;
 use contention_mac::medium::{ActiveTx, Medium, TxKind, TxSource};
 use contention_mac::{MacConfig, MacSim};
 use contention_sim::engine::{run_trial_with, Simulator};
 use contention_sim::event::EventQueue;
+use contention_slotted::noisy::NoisyConfig;
 use contention_slotted::windowed::WindowedConfig;
-use contention_slotted::WindowedSim;
+use contention_slotted::{NoisySim, WindowedSim};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn queue_ops(c: &mut Criterion) {
@@ -115,6 +117,29 @@ fn mac_trials(c: &mut Criterion) {
             trial = (trial + 1) % 8;
             run_trial_with::<WindowedSim>("bench-hot-win", &wconfig, 10_000, trial, &mut wscratch)
                 .cw_slots
+        })
+    });
+    // The scale ceiling the streaming sweeps run at: same loop, 10× the
+    // stations, so cache behaviour (not constant factors) dominates.
+    group.bench_function("windowed_beb_n1e5_arena", |b| {
+        let mut trial = 0u32;
+        b.iter(|| {
+            trial = (trial + 1) % 4;
+            run_trial_with::<WindowedSim>("bench-hot-win", &wconfig, 100_000, trial, &mut wscratch)
+                .cw_slots
+        })
+    });
+    // The sampled resolution path (softened channel): counting-sort
+    // group-by plus per-slot channel draws instead of the occupancy fast
+    // path.
+    let nconfig = NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::softened(0.5));
+    let mut nscratch = <NoisySim as Simulator>::Scratch::default();
+    group.bench_function("noisy_soften_n10k_sampled", |b| {
+        let mut trial = 0u32;
+        b.iter(|| {
+            trial = (trial + 1) % 8;
+            run_trial_with::<NoisySim>("bench-hot-noisy", &nconfig, 10_000, trial, &mut nscratch)
+                .collisions
         })
     });
     group.finish();

@@ -7,7 +7,7 @@
 
 use crate::algorithm::AlgorithmKind;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// SplitMix64 finalizer — a well-distributed 64-bit mixing function.
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -47,6 +47,85 @@ pub fn algorithm_tag(kind: AlgorithmKind) -> u64 {
 pub fn trial_rng(experiment: u64, kind: AlgorithmKind, n: u32, trial: u32) -> SmallRng {
     let seed = mix_seed(&[experiment, algorithm_tag(kind), n as u64, trial as u64]);
     SmallRng::seed_from_u64(seed)
+}
+
+/// A reusable buffer of raw RNG output for hot loops that draw many values
+/// per step (e.g. one backoff slot per alive station per window).
+///
+/// Prefetching `next_u64` words in a tight loop and consuming them through
+/// [`DrawBuffer::uniform_below`] keeps the generator state out of the
+/// draw-consuming loop's dependency chain, while producing **bit-identical
+/// values in bit-identical order** to calling `rng.gen_range(0..span)` once
+/// per draw: `uniform_below` replicates the vendored `rand`'s zone-based
+/// rejection exactly, and a rejected word's replacement is pulled straight
+/// from the generator (the buffer merely *relocates* where words are
+/// produced, never reorders them). The caller contract that makes this true:
+/// [`prefill`](DrawBuffer::prefill) exactly the number of draws about to be
+/// consumed, then consume them all — the buffer never holds words across
+/// prefills, so interleaved direct use of the same generator (noise flips,
+/// slot resolution) sees exactly the stream it would have unbatched.
+#[derive(Default)]
+pub struct DrawBuffer {
+    words: Vec<u64>,
+    cursor: usize,
+}
+
+impl DrawBuffer {
+    /// Discards any unconsumed words and refills with exactly `count` fresh
+    /// words of `rng` output.
+    #[inline]
+    pub fn prefill<R: RngCore>(&mut self, rng: &mut R, count: usize) {
+        debug_assert_eq!(self.cursor, self.words.len(), "unconsumed draws");
+        self.words.clear();
+        self.words.resize(count, 0);
+        for w in self.words.iter_mut() {
+            *w = rng.next_u64();
+        }
+        self.cursor = 0;
+    }
+
+    /// The next raw word: buffered if available, fresh from `rng` otherwise
+    /// (rejection replacements after the prefetched budget is spent).
+    #[inline]
+    fn next_word<R: RngCore>(&mut self, rng: &mut R) -> u64 {
+        if self.cursor < self.words.len() {
+            let w = self.words[self.cursor];
+            self.cursor += 1;
+            w
+        } else {
+            rng.next_u64()
+        }
+    }
+
+    /// Uniform draw in `[0, span)` — bit-identical to the vendored
+    /// `rng.gen_range(0..span)` (same zone-based rejection), consuming zero
+    /// words when `span == 1` and otherwise one word per accepted draw plus
+    /// one per (astronomically rare) rejection.
+    #[inline]
+    pub fn uniform_below<R: RngCore>(&mut self, rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        if span.is_power_of_two() {
+            // The zone is then u64::MAX (no rejection possible) and the
+            // modulo reduces to a mask; same value, cheaper arithmetic.
+            return self.next_word(rng) & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_word(rng);
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Caps the retained capacity (sharded sweeps park workers for long
+    /// stretches; a pathological window should not pin its high-water mark).
+    pub fn shrink_to(&mut self, cap: usize) {
+        self.words.shrink_to(cap);
+    }
 }
 
 /// FNV-1a hash of an experiment name.
@@ -120,5 +199,62 @@ mod tests {
         // FNV-1a of "a" is a published constant.
         assert_eq!(experiment_tag("a"), 0xaf63dc4c8601ec8c);
         assert_ne!(experiment_tag("fig7"), experiment_tag("fig8"));
+    }
+
+    #[test]
+    fn draw_buffer_matches_gen_range_bit_for_bit() {
+        // Batched draws must replay the exact unbatched stream, across
+        // power-of-two spans (mask path), non-power-of-two spans (zone
+        // rejection) and span 1 (no word consumed).
+        for span in [1u64, 2, 3, 7, 8, 1024, 1 << 17, (1 << 17) - 5, u64::MAX] {
+            let mut direct = trial_rng(experiment_tag("buf"), AlgorithmKind::Beb, 9, 0);
+            let mut batched = direct.clone();
+            let mut buf = DrawBuffer::default();
+            for round in 0..32usize {
+                let count = round % 5;
+                buf.prefill(&mut batched, if span == 1 { 0 } else { count });
+                for _ in 0..count {
+                    assert_eq!(
+                        buf.uniform_below(&mut batched, span),
+                        direct.gen_range(0..span),
+                        "span {span} round {round}"
+                    );
+                }
+                // Interleaved direct use between prefills (the sampled
+                // path's channel draws) must see the same stream too.
+                assert_eq!(batched.gen::<f64>(), direct.gen::<f64>());
+            }
+        }
+    }
+
+    #[test]
+    fn draw_buffer_overflow_draws_continue_the_stream() {
+        // Rejection replacements past the prefetched budget fall through to
+        // the generator; the merged sequence is position-for-position the
+        // raw word stream.
+        let mut a = trial_rng(experiment_tag("buf-ovf"), AlgorithmKind::Beb, 1, 1);
+        let raw: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let mut b = trial_rng(experiment_tag("buf-ovf"), AlgorithmKind::Beb, 1, 1);
+        let mut buf = DrawBuffer::default();
+        buf.prefill(&mut b, 16);
+        let spans = [8u64, 1 << 20, 3, 9, 1 << 33];
+        let mut got = Vec::new();
+        for i in 0..40usize {
+            let span = spans[i % spans.len()];
+            got.push(buf.uniform_below(&mut b, span));
+        }
+        // Replay by hand over the raw words (zone rejection inlined).
+        let mut it = raw.iter().copied();
+        for (i, &g) in got.iter().enumerate() {
+            let span = spans[i % spans.len()];
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            let v = loop {
+                let v = it.next().expect("enough raw words");
+                if v <= zone {
+                    break v;
+                }
+            };
+            assert_eq!(g, v % span, "draw {i}");
+        }
     }
 }

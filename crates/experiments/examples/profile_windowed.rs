@@ -1,0 +1,90 @@
+//! Wall-clock decomposition aids for the windowed hot path, for perf work on
+//! machines without `perf`: times the real arena-reusing trials next to the
+//! irreducible floor (raw generator throughput for the same draw count), so
+//! a perf session can see at a glance how much headroom the loop still has.
+//! Run with
+//! `cargo run --release -p contention-experiments --example profile_windowed`.
+
+use contention_core::algorithm::AlgorithmKind;
+use contention_core::channel::ChannelModel;
+use contention_core::rng::{experiment_tag, trial_rng};
+use contention_sim::engine::{run_trial_with, Simulator};
+use contention_slotted::noisy::NoisyConfig;
+use contention_slotted::windowed::{WindowedConfig, WindowedSim};
+use contention_slotted::NoisySim;
+use rand::RngCore;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_trials<S: Simulator>(label: &str, config: &S::Config, n: u32, reps: u32, cycle: u32)
+where
+    S::Output: std::fmt::Debug,
+{
+    let mut scratch = S::Scratch::default();
+    for i in 0..cycle {
+        black_box(run_trial_with::<S>(
+            "bench-windowed",
+            config,
+            n,
+            i,
+            &mut scratch,
+        ));
+    }
+    let t = Instant::now();
+    for i in 0..reps {
+        black_box(run_trial_with::<S>(
+            "bench-windowed",
+            config,
+            n,
+            i % cycle,
+            &mut scratch,
+        ));
+    }
+    let per_trial = t.elapsed().as_nanos() as f64 / reps as f64;
+    println!("{label:<28} {per_trial:>12.0} ns/trial");
+}
+
+fn main() {
+    // The real trials, arena-reused, same shape as `repro bench`.
+    time_trials::<WindowedSim>(
+        "windowed BEB n=1e4",
+        &WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        10_000,
+        40,
+        8,
+    );
+    time_trials::<WindowedSim>(
+        "windowed BEB n=1e5",
+        &WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        100_000,
+        8,
+        4,
+    );
+    time_trials::<NoisySim>(
+        "noisy soften(0.5) n=1e4",
+        &NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::softened(0.5)),
+        10_000,
+        16,
+        8,
+    );
+
+    // The irreducible floor: a BEB batch of n stations draws roughly
+    // 2n − (successes spread over ~log n windows) ≈ 1.47n·10 words for
+    // n = 1e4 empirically; measure the raw generator at that volume so the
+    // trial numbers above can be read as "floor + everything else".
+    let mut rng = trial_rng(experiment_tag("bench-windowed"), AlgorithmKind::Beb, 1, 0);
+    const WORDS: u64 = 147_000;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..40 {
+        for _ in 0..WORDS {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+    }
+    black_box(acc);
+    let per_batch = t.elapsed().as_nanos() as f64 / 40.0;
+    println!(
+        "raw xoshiro, {WORDS} words    {per_batch:>12.0} ns  ({:.2} ns/word)",
+        per_batch / WORDS as f64
+    );
+}

@@ -14,6 +14,7 @@
 
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::metrics::{BatchMetrics, StationMetrics};
+use contention_core::rng::DrawBuffer;
 use contention_core::schedule::{Schedule, Truncation, WindowSchedule};
 use contention_core::time::Nanos;
 use contention_sim::engine::Simulator;
@@ -47,6 +48,28 @@ impl ResidualConfig {
     }
 }
 
+/// Reusable per-worker buffers for the residual-timer loop: the event heap,
+/// the per-station schedule table, the per-event transmission set and the
+/// batched draw words all keep their high-water capacity from trial to
+/// trial. A fresh (`Default`) scratch behaves identically — reuse may only
+/// move memory, never results.
+#[derive(Default)]
+pub struct ResidualScratch {
+    /// Per-station schedule state; rebuilt (cheaply, in place) every trial
+    /// because the algorithm may differ between trials sharing a scratch.
+    schedules: Vec<Schedule>,
+    /// Pending transmissions as `(absolute slot, station)`, earliest first.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// The equal-slot transmission set of the current event.
+    group: Vec<u32>,
+    /// The redraw CWs of the current event's stations, collected before any
+    /// word is drawn (`next_window` consumes no randomness), so the draw
+    /// count is known up front.
+    widths: Vec<u32>,
+    /// Batched raw RNG words for the timer draws.
+    buf: DrawBuffer,
+}
+
 /// The residual-timer simulator.
 pub struct ResidualSim {
     config: ResidualConfig,
@@ -64,93 +87,121 @@ impl ResidualSim {
 
     /// Runs one single-batch trial of `n` stations.
     pub fn run<R: Rng>(&mut self, n: u32, rng: &mut R) -> BatchMetrics {
-        let mut metrics = BatchMetrics {
-            n,
-            stations: vec![StationMetrics::default(); n as usize],
-            ..BatchMetrics::default()
-        };
-        if n == 0 {
-            return metrics;
+        run_residual(&self.config, &mut ResidualScratch::default(), n, rng)
+    }
+}
+
+/// The residual-timer trial loop over a caller-owned scratch arena.
+///
+/// RNG discipline: timers are drawn in station order (initially) and in
+/// group order (after a collision), through [`DrawBuffer::uniform_below`] —
+/// bit-identical to per-draw `gen_range(0..cw)` calls. Because a `cw` of 1
+/// consumes no randomness, each batch first collects its CWs (schedule
+/// stepping is RNG-free) and prefills exactly the words the `cw > 1` draws
+/// will consume.
+fn run_residual<R: Rng>(
+    config: &ResidualConfig,
+    scratch: &mut ResidualScratch,
+    n: u32,
+    rng: &mut R,
+) -> BatchMetrics {
+    let mut metrics = BatchMetrics {
+        n,
+        stations: vec![StationMetrics::default(); n as usize],
+        ..BatchMetrics::default()
+    };
+    if n == 0 {
+        return metrics;
+    }
+    let half_target = n.div_ceil(2);
+    let ResidualScratch {
+        schedules,
+        heap,
+        group,
+        widths,
+        buf,
+    } = scratch;
+
+    schedules.clear();
+    schedules.extend((0..n).map(|_| {
+        config
+            .algorithm
+            .schedule(config.truncation)
+            .expect("checked in new()")
+    }));
+
+    // Heap of (transmission slot, station), earliest first. Stations are
+    // pushed in index order, so equal-slot groups are deterministic.
+    heap.clear();
+    widths.clear();
+    widths.extend(schedules.iter_mut().map(|s| s.next_window()));
+    buf.prefill(rng, widths.iter().filter(|&&cw| cw > 1).count());
+    for (station, &cw) in widths.iter().enumerate() {
+        let timer = buf.uniform_below(rng, cw as u64);
+        metrics.stations[station].backoff_slots += timer;
+        heap.push(Reverse((timer, station as u32)));
+    }
+
+    let mut events: u64 = 0;
+    while let Some(&Reverse((slot, _))) = heap.peek() {
+        if config.max_events != 0 && events >= config.max_events {
+            break;
         }
-        let half_target = n.div_ceil(2);
+        events += 1;
 
-        // Per-station schedule state.
-        let mut schedules: Vec<Schedule> = (0..n)
-            .map(|_| {
-                self.config
-                    .algorithm
-                    .schedule(self.config.truncation)
-                    .expect("checked in new()")
-            })
-            .collect();
-
-        // Heap of (transmission slot, station), earliest first. Stations are
-        // pushed in index order, so equal-slot groups are deterministic.
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(n as usize);
-        for station in 0..n {
-            let cw = schedules[station as usize].next_window() as u64;
-            let timer = rng.gen_range(0..cw);
-            metrics.stations[station as usize].backoff_slots += timer;
-            heap.push(Reverse((timer, station)));
-        }
-
-        let mut events: u64 = 0;
-        let mut group: Vec<u32> = Vec::new();
-        while let Some(&Reverse((slot, _))) = heap.peek() {
-            if self.config.max_events != 0 && events >= self.config.max_events {
+        group.clear();
+        while let Some(&Reverse((s, station))) = heap.peek() {
+            if s != slot {
                 break;
             }
-            events += 1;
-
-            group.clear();
-            while let Some(&Reverse((s, station))) = heap.peek() {
-                if s != slot {
-                    break;
-                }
-                heap.pop();
-                group.push(station);
-            }
-
-            if group.len() == 1 {
-                let station = group[0];
-                let s = &mut metrics.stations[station as usize];
-                s.attempts += 1;
-                s.success_time = Some(self.config.slot * (slot + 1));
-                metrics.successes += 1;
-                if metrics.successes == half_target {
-                    metrics.half_cw_slots = slot + 1;
-                }
-                if metrics.successes == n {
-                    metrics.cw_slots = slot + 1;
-                }
-            } else {
-                metrics.collisions += 1;
-                metrics.colliding_stations += group.len() as u64;
-                for &station in &group {
-                    let s = &mut metrics.stations[station as usize];
-                    s.attempts += 1;
-                    s.ack_timeouts += 1;
-                    let cw = schedules[station as usize].next_window() as u64;
-                    let timer = rng.gen_range(0..cw);
-                    s.backoff_slots += timer;
-                    // Redraw counts from the slot after the collision.
-                    heap.push(Reverse((slot + 1 + timer, station)));
-                }
-            }
+            heap.pop();
+            group.push(station);
         }
 
-        metrics.total_time = self.config.slot * metrics.cw_slots;
-        metrics.half_time = self.config.slot * metrics.half_cw_slots;
-        metrics
+        if group.len() == 1 {
+            let station = group[0];
+            let s = &mut metrics.stations[station as usize];
+            s.attempts += 1;
+            s.success_time = Some(config.slot * (slot + 1));
+            metrics.successes += 1;
+            if metrics.successes == half_target {
+                metrics.half_cw_slots = slot + 1;
+            }
+            if metrics.successes == n {
+                metrics.cw_slots = slot + 1;
+            }
+        } else {
+            metrics.collisions += 1;
+            metrics.colliding_stations += group.len() as u64;
+            widths.clear();
+            widths.extend(
+                group
+                    .iter()
+                    .map(|&station| schedules[station as usize].next_window()),
+            );
+            buf.prefill(rng, widths.iter().filter(|&&cw| cw > 1).count());
+            for (&station, &cw) in group.iter().zip(widths.iter()) {
+                let s = &mut metrics.stations[station as usize];
+                s.attempts += 1;
+                s.ack_timeouts += 1;
+                let timer = buf.uniform_below(rng, cw as u64);
+                s.backoff_slots += timer;
+                // Redraw counts from the slot after the collision.
+                heap.push(Reverse((slot + 1 + timer, station)));
+            }
+        }
     }
+
+    metrics.total_time = config.slot * metrics.cw_slots;
+    metrics.half_time = config.slot * metrics.half_cw_slots;
+    metrics
 }
 
 /// Plugs the residual-timer semantics into the generic sweep engine.
 impl Simulator for ResidualSim {
     type Config = ResidualConfig;
     type Output = BatchMetrics;
-    /// Residual-timer trials keep their heap inside `run`; no arena yet.
-    type Scratch = ();
+    type Scratch = ResidualScratch;
     const NAME: &'static str = "residual";
 
     fn algorithm(config: &ResidualConfig) -> AlgorithmKind {
@@ -168,9 +219,11 @@ impl Simulator for ResidualSim {
         config: &ResidualConfig,
         n: u32,
         rng: &mut SmallRng,
-        _scratch: &mut (),
+        scratch: &mut ResidualScratch,
     ) -> BatchMetrics {
-        ResidualSim::new(*config).run(n, rng)
+        // The constructor's algorithm check, without discarding the scratch.
+        let _ = ResidualSim::new(*config);
+        run_residual(config, scratch, n, rng)
     }
 }
 
@@ -239,6 +292,24 @@ mod tests {
             xs[4]
         };
         assert!(med(AlgorithmKind::Sawtooth) < med(AlgorithmKind::Beb));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Heap/schedule/draw-buffer reuse may move memory, never results —
+        // including across trials of different algorithms on one scratch.
+        let mut scratch = ResidualScratch::default();
+        for kind in [AlgorithmKind::LogBackoff, AlgorithmKind::Beb] {
+            let config = ResidualConfig::paper(kind);
+            for trial in 0..4 {
+                let tag = experiment_tag("residual-test");
+                let mut rng = trial_rng(tag, kind, 60, trial);
+                let reused = run_residual(&config, &mut scratch, 60, &mut rng);
+                let mut rng = trial_rng(tag, kind, 60, trial);
+                let fresh = run_residual(&config, &mut ResidualScratch::default(), 60, &mut rng);
+                assert_eq!(reused, fresh, "{kind} trial {trial}");
+            }
+        }
     }
 
     #[test]

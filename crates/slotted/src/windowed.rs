@@ -214,6 +214,9 @@ mod tests {
         let m = sim.run(50, &mut rng);
         // 50 stations in a single width-1 window cannot all succeed.
         assert!(m.successes < 50);
+        // The delegated loop's valve exception rides along: one width-1
+        // window elapsed, so `total_time` is one slot, not 0.
+        assert_eq!(m.total_time, config.slot);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod prelude {
     pub use contention_core::time::Nanos;
     pub use contention_mac::{simulate, MacConfig, MacRun, MacSim, Trace};
     pub use contention_sim::engine::{
-        cell, folded, run_trial, Accumulator, Cell, CellRange, ExecPolicy, FoldedCell,
-        MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
+        cell, folded, run_trial, run_trial_with, Accumulator, Cell, CellRange, ExecPolicy,
+        FoldedCell, MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
     };
     pub use contention_sim::summary::{Metric, TrialSummary};
     pub use contention_slotted::noisy::{NoisyConfig, NoisySim};

@@ -85,6 +85,49 @@ fn folded_sweep_memory_does_not_scale_with_trials() {
     );
 }
 
+/// A pathological huge-window trial must not pin its high-water slot state
+/// for the rest of a shard.
+///
+/// A `Fixed { window: 2²³ }` schedule with four stations drives the
+/// windowed loop's sparse path, which sizes the epoch-stamped slot-state
+/// buffer to the window width (2²³ × 8 B = 64 MB). `NoisyScratch` sheds
+/// slot-indexed buffers beyond 2²¹ entries at the end of every trial, so
+/// the retained footprint after the trial must drop back to the 16 MB cap
+/// even though the trial itself had to touch the full width.
+#[test]
+fn pathological_window_scratch_is_shed_after_the_trial() {
+    const WIDTH: u32 = 1 << 23;
+    let config = NoisyConfig::abstract_model(
+        AlgorithmKind::Fixed { window: WIDTH },
+        ChannelModel::ideal(),
+    );
+    let mut scratch = <NoisySim as Simulator>::Scratch::default();
+
+    let before = CURRENT.load(Ordering::SeqCst);
+    PEAK.store(before, Ordering::SeqCst);
+    // Four stations across 2²³ slots: collision probability ≈ 2⁻²¹ per
+    // pair, so (at this seed) everyone wins in the first window and the
+    // trial ends immediately — the window width, not the trial length, is
+    // what stresses the buffers.
+    let m = run_trial_with::<NoisySim>("alloc-shed", &config, 4, 0, &mut scratch);
+    assert_eq!(m.successes, 4, "trial unexpectedly needed a second window");
+
+    let peak_growth = PEAK.load(Ordering::SeqCst).saturating_sub(before);
+    let retained = CURRENT.load(Ordering::SeqCst).saturating_sub(before);
+    // The trial really did size slot state to the window: 2²³ × 8 B.
+    assert!(
+        peak_growth >= (WIDTH as usize) * 8,
+        "peak heap growth {peak_growth} B never reached the window's slot state"
+    );
+    // …but the scratch kept at most the retention cap (2²¹ × 8 B), plus
+    // small per-trial output; 20 MB leaves slack without letting the full
+    // 64 MB table hide.
+    assert!(
+        retained < 20_000_000,
+        "retained heap growth {retained} B — pathological slot state was not shed"
+    );
+}
+
 /// O(1)-state accumulator over total time (drops the summary, no alloc).
 struct TimeExtrema(Extrema);
 
