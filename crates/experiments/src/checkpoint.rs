@@ -1,0 +1,682 @@
+//! Crash-safe long runs: periodic checkpoints, resume, live metrics.
+//!
+//! A checkpointed run attaches a [`CheckpointWriter`] to the engine's
+//! snapshot seam (`contention_sim::monitor`). On each snapshot the writer
+//! serializes the in-flight accumulator state as a plain `shard_state/v1`
+//! artifact — the same format `repro shard` emits, with shard coordinates
+//! `(0, 1)` and holes (`null`) for trials the snapshot's ragged cut missed —
+//! into `<out>/checkpoints/`, atomically (`*.tmp` + fsync + rename), under a
+//! monotonically increasing sequence number, with a `latest` pointer file
+//! naming the newest one. A `metrics.json` sidecar (`sweep_metrics/v1`)
+//! lands in `<out>` on the same cadence: the machine-readable counterpart to
+//! the TTY progress meter.
+//!
+//! `repro resume <out>` loads the newest valid checkpoint (pointer first,
+//! newest-valid scan as fallback — a torn pointer or artifact is skipped,
+//! never fatal), computes the [`missing_work`] plan, runs *only* those
+//! trials, and merges them into the loaded state. Because the per-trial RNG
+//! is position-addressed, the resumed report is byte-identical to an
+//! uninterrupted run — `tests/checkpoint_resume.rs` pins this against the
+//! committed golden.
+//!
+//! Checkpoint I/O must never kill the run it protects: a failed write warns
+//! on stderr once and the sweep continues; the next snapshot retries.
+
+use crate::aggregate::{MetricStats, StatsCell};
+use crate::fsutil;
+use crate::jsonin::Json;
+use crate::jsonout::{escape, num};
+use crate::shard::{GridMeta, ShardState, SHARD_SUFFIX};
+use contention_sim::monitor::{SweepMonitor, SweepSnapshot};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Schema tag of the `metrics.json` sidecar.
+pub const METRICS_SCHEMA: &str = "sweep_metrics/v1";
+
+/// Subdirectory of the run's `--out` dir that holds checkpoints.
+pub const CHECKPOINT_DIR: &str = "checkpoints";
+
+/// Pointer file inside [`CHECKPOINT_DIR`] naming the newest checkpoint.
+pub const LATEST_FILE: &str = "latest";
+
+/// File name of the live-metrics sidecar inside the `--out` dir.
+pub const METRICS_FILE: &str = "metrics.json";
+
+/// How many checkpoints to keep; older ones are pruned best-effort.
+const RETAIN: usize = 3;
+
+/// The artifact name of checkpoint `seq` for `experiment`. Zero-padding
+/// keeps lexicographic and numeric order aligned for human `ls`-ing; the
+/// loader parses the number and does not rely on it.
+pub fn checkpoint_file_name(experiment: &str, seq: u64) -> String {
+    format!("{experiment}.ckpt{seq:06}{SHARD_SUFFIX}")
+}
+
+/// The sequence number encoded in a checkpoint file name, if any.
+fn seq_of_file(name: &str) -> Option<u64> {
+    let rest = name.strip_suffix(SHARD_SUFFIX)?;
+    let at = rest.rfind(".ckpt")?;
+    rest[at + ".ckpt".len()..].parse().ok()
+}
+
+/// Serializes sweep snapshots into atomic checkpoint artifacts plus the
+/// `metrics.json` sidecar. Attached to a run via
+/// [`SweepHooks`](crate::figures::shared::SweepHooks)`::monitor`.
+pub struct CheckpointWriter {
+    out_dir: PathBuf,
+    ckpt_dir: PathBuf,
+    experiment: String,
+    full: bool,
+    grid: GridMeta,
+    /// Already-recorded state a resume run starts from; merged into every
+    /// checkpoint so a second crash loses nothing.
+    base: Vec<StatsCell>,
+    /// Trials the base already holds (counted per cell as the minimum across
+    /// metric buffers, matching `ShardState::missing`).
+    base_trials: usize,
+    /// Next sequence number to write (continues past existing checkpoints).
+    seq: AtomicU64,
+    warned: AtomicBool,
+}
+
+impl CheckpointWriter {
+    /// A writer for a fresh checkpointed run into `out_dir`. Creates
+    /// `<out_dir>/checkpoints/`; sequence numbers continue past any
+    /// checkpoints already there.
+    pub fn new(
+        out_dir: &Path,
+        experiment: &str,
+        full: bool,
+        grid: GridMeta,
+    ) -> Result<CheckpointWriter, String> {
+        let ckpt_dir = out_dir.join(CHECKPOINT_DIR);
+        fsutil::ensure_dir(&ckpt_dir)?;
+        let mut next_seq = 0;
+        let entries = fs::read_dir(&ckpt_dir)
+            .map_err(|e| format!("cannot read {}: {e}", ckpt_dir.display()))?;
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| format!("cannot read an entry of {}: {e}", ckpt_dir.display()))?;
+            if let Some(seq) = entry.file_name().to_str().and_then(seq_of_file) {
+                next_seq = next_seq.max(seq + 1);
+            }
+        }
+        Ok(CheckpointWriter {
+            out_dir: out_dir.to_path_buf(),
+            ckpt_dir,
+            experiment: experiment.to_string(),
+            full,
+            grid,
+            base: Vec::new(),
+            base_trials: 0,
+            seq: AtomicU64::new(next_seq),
+            warned: AtomicBool::new(false),
+        })
+    }
+
+    /// Folds an already-loaded state (the checkpoint a resume starts from)
+    /// into every future checkpoint, so an interrupted *resume* still
+    /// leaves a checkpoint holding everything recorded so far.
+    pub fn with_base(mut self, base: ShardState) -> CheckpointWriter {
+        assert_eq!(base.grid, self.grid, "base state must match the run grid");
+        self.base_trials = recorded_trials(&base);
+        self.base = base.into_cells();
+        self
+    }
+
+    /// The sequence number the next checkpoint will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn write_snapshot(&self, snap: &SweepSnapshot<MetricStats>) -> Result<(), String> {
+        let cells = merge_cells(&self.grid, &self.base, &snap.cells)?;
+        let state = ShardState::from_cells(&self.experiment, self.full, (0, 1), &self.grid, &cells);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let name = checkpoint_file_name(&self.experiment, seq);
+        fsutil::write_atomic(&self.ckpt_dir.join(&name), state.to_json().as_bytes())?;
+        fsutil::write_atomic(
+            &self.ckpt_dir.join(LATEST_FILE),
+            format!("{name}\n").as_bytes(),
+        )?;
+        self.prune(seq);
+
+        let trials_done = self.base_trials + snap.completed_trials;
+        let trials_total = self.base_trials + snap.total_trials;
+        let elapsed_secs = snap.elapsed.as_secs_f64();
+        let rate = if elapsed_secs > 0.0 {
+            snap.completed_trials as f64 / elapsed_secs
+        } else {
+            f64::NAN
+        };
+        let doc = MetricsDoc {
+            experiment: self.experiment.clone(),
+            cells_done: cells.iter().filter(|c| c.acc.is_complete()).count(),
+            cells_total: self.grid.cell_count(),
+            trials_done,
+            trials_total,
+            elapsed_secs,
+            trials_per_sec: rate,
+            trials_per_sec_per_worker: rate / snap.workers.max(1) as f64,
+            workers: snap.workers,
+            eta_secs: if rate > 0.0 {
+                trials_total.saturating_sub(trials_done) as f64 / rate
+            } else {
+                f64::NAN
+            },
+            checkpoint_seq: seq,
+            finished: snap.finished,
+        };
+        fsutil::write_atomic(&self.out_dir.join(METRICS_FILE), doc.to_json().as_bytes())
+    }
+
+    /// Best-effort removal of checkpoints older than the [`RETAIN`] newest.
+    /// Failures are ignored: pruning is hygiene, not correctness.
+    fn prune(&self, newest: u64) {
+        let Ok(entries) = fs::read_dir(&self.ckpt_dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if let Some(seq) = entry.file_name().to_str().and_then(seq_of_file) {
+                if seq + (RETAIN as u64) <= newest {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+impl SweepMonitor<MetricStats> for CheckpointWriter {
+    /// Persists one snapshot. Never panics and never propagates: checkpoint
+    /// I/O failing must not take down the sweep it protects. The first
+    /// failure warns on stderr; later snapshots keep retrying silently.
+    fn snapshot(&self, snap: SweepSnapshot<MetricStats>) {
+        if let Err(e) = self.write_snapshot(&snap) {
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: checkpoint write failed: {e} (run continues; \
+                     the next snapshot retries)"
+                );
+            }
+        }
+    }
+}
+
+/// Base ∪ fresh, cell-merged into canonical grid order — the reassembly
+/// step shared by checkpoint snapshots (base = the state a resume loaded,
+/// fresh = the in-flight ragged cut) and `repro resume`'s final fold
+/// (fresh = the executed missing-work plan). Cells present in neither are
+/// omitted — the artifact format tolerates missing cells.
+pub fn merge_cells(
+    grid: &GridMeta,
+    base: &[StatsCell],
+    fresh: &[StatsCell],
+) -> Result<Vec<StatsCell>, String> {
+    let mut merged = Vec::new();
+    for &alg in &grid.algorithms {
+        for &n in &grid.ns {
+            let find = |cells: &[StatsCell]| -> Option<MetricStats> {
+                cells
+                    .iter()
+                    .find(|c| c.algorithm == alg && c.n == n)
+                    .map(|c| c.acc.clone())
+            };
+            let acc = match (find(base), find(fresh)) {
+                (Some(mut b), Some(s)) => {
+                    b.try_merge(s)
+                        .map_err(|e| format!("cell ({alg}, n={n}): {e}"))?;
+                    Some(b)
+                }
+                (b, s) => b.or(s),
+            };
+            if let Some(acc) = acc {
+                merged.push(StatsCell {
+                    algorithm: alg,
+                    n,
+                    acc,
+                });
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Trials a state has fully recorded, counted per cell as the minimum
+/// across metric buffers (a trial counts only when every metric holds it).
+fn recorded_trials(state: &ShardState) -> usize {
+    state
+        .cells
+        .iter()
+        .map(|cell| {
+            cell.samples
+                .iter()
+                .map(|s| s.iter().filter(|v| !v.is_nan()).count())
+                .min()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// The resume work plan: for each canonical grid-cell index, the trials the
+/// state has not recorded — exactly the `missing` argument of
+/// `Sweep::run_fold_monitored`. Cells with nothing missing are omitted; a
+/// complete state yields an empty plan.
+///
+/// A trial recorded for only *some* of a cell's metrics cannot have come
+/// from this pipeline (trials record all metrics atomically under the cell
+/// lock) and is rejected as a corrupt artifact rather than re-run — re-running
+/// it would double-record the metrics that are present.
+pub fn missing_work(state: &ShardState) -> Result<Vec<(usize, Vec<u32>)>, String> {
+    let trials = state.grid.trials;
+    let mut plan = Vec::new();
+    let mut index = 0usize;
+    for &alg in &state.grid.algorithms {
+        for &n in &state.grid.ns {
+            let cell = state.cells.iter().find(|c| c.algorithm == alg && c.n == n);
+            let mut missing: Vec<u32> = Vec::new();
+            match cell {
+                None => missing.extend(0..trials),
+                Some(cell) => {
+                    for t in 0..trials as usize {
+                        let holes = cell.samples.iter().filter(|s| s[t].is_nan()).count();
+                        if holes == cell.samples.len() {
+                            missing.push(t as u32);
+                        } else if holes > 0 {
+                            return Err(format!(
+                                "cell ({alg}, n={n}) trial {t} is recorded for only some \
+                                 metrics — corrupt artifact"
+                            ));
+                        }
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                plan.push((index, missing));
+            }
+            index += 1;
+        }
+    }
+    Ok(plan)
+}
+
+/// Loads the newest valid checkpoint under `<out_dir>/checkpoints/` and its
+/// sequence number. The `latest` pointer is tried first; if it is missing,
+/// torn, or names an unreadable/unparseable artifact, every checkpoint in
+/// the directory is tried newest-first (staged `*.tmp` files never match
+/// the artifact suffix, so a write killed mid-stage is invisible).
+pub fn load_latest(out_dir: &Path) -> Result<(ShardState, u64), String> {
+    let ckpt_dir = out_dir.join(CHECKPOINT_DIR);
+    if !ckpt_dir.is_dir() {
+        return Err(format!(
+            "{} does not exist — was this run started with --checkpoint?",
+            ckpt_dir.display()
+        ));
+    }
+    if let Ok(pointer) = fs::read_to_string(ckpt_dir.join(LATEST_FILE)) {
+        let name = pointer.trim();
+        if let Some(seq) = seq_of_file(name) {
+            if let Ok((state, _)) = load_checkpoint(&ckpt_dir.join(name)) {
+                return Ok((state, seq));
+            }
+        }
+    }
+    // Pointer unusable — scan for the newest checkpoint that parses.
+    let entries =
+        fs::read_dir(&ckpt_dir).map_err(|e| format!("cannot read {}: {e}", ckpt_dir.display()))?;
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| format!("cannot read an entry of {}: {e}", ckpt_dir.display()))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(seq_of_file) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    let mut failures = Vec::new();
+    for (seq, path) in found {
+        match load_checkpoint(&path) {
+            Ok((state, _)) => return Ok((state, seq)),
+            Err(e) => failures.push(e),
+        }
+    }
+    if failures.is_empty() {
+        Err(format!("no checkpoints in {}", ckpt_dir.display()))
+    } else {
+        Err(format!(
+            "no valid checkpoint in {}:\n  {}",
+            ckpt_dir.display(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn load_checkpoint(path: &Path) -> Result<(ShardState, PathBuf), String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let state = ShardState::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((state, path.to_path_buf()))
+}
+
+/// The `metrics.json` document (`sweep_metrics/v1`): a point-in-time view
+/// of a checkpointed run for dashboards and the future work-server.
+/// Unknown-yet quantities (`trials_per_sec` before any trial lands,
+/// `eta_secs`) are NaN in memory and `null` on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDoc {
+    pub experiment: String,
+    pub cells_done: usize,
+    pub cells_total: usize,
+    pub trials_done: usize,
+    pub trials_total: usize,
+    pub elapsed_secs: f64,
+    pub trials_per_sec: f64,
+    pub trials_per_sec_per_worker: f64,
+    pub workers: usize,
+    pub eta_secs: f64,
+    pub checkpoint_seq: u64,
+    pub finished: bool,
+}
+
+impl MetricsDoc {
+    /// Renders the sidecar document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", escape(METRICS_SCHEMA)));
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            escape(&self.experiment)
+        ));
+        out.push_str(&format!("  \"cells_done\": {},\n", self.cells_done));
+        out.push_str(&format!("  \"cells_total\": {},\n", self.cells_total));
+        out.push_str(&format!("  \"trials_done\": {},\n", self.trials_done));
+        out.push_str(&format!("  \"trials_total\": {},\n", self.trials_total));
+        out.push_str(&format!(
+            "  \"elapsed_secs\": {},\n",
+            num(self.elapsed_secs)
+        ));
+        out.push_str(&format!(
+            "  \"trials_per_sec\": {},\n",
+            num(self.trials_per_sec)
+        ));
+        out.push_str(&format!(
+            "  \"trials_per_sec_per_worker\": {},\n",
+            num(self.trials_per_sec_per_worker)
+        ));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"eta_secs\": {},\n", num(self.eta_secs)));
+        out.push_str(&format!("  \"checkpoint_seq\": {},\n", self.checkpoint_seq));
+        out.push_str(&format!("  \"finished\": {}\n", self.finished));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a sidecar document, validating the schema tag.
+    pub fn parse(text: &str) -> Result<MetricsDoc, String> {
+        let v = Json::parse(text)?;
+        let schema = v.field("schema")?.as_str()?;
+        if schema != METRICS_SCHEMA {
+            return Err(format!(
+                "unsupported metrics schema {schema:?} (expected {METRICS_SCHEMA:?})"
+            ));
+        }
+        let count = |key: &str| -> Result<usize, String> { Ok(v.field(key)?.as_u32()? as usize) };
+        Ok(MetricsDoc {
+            experiment: v.field("experiment")?.as_str()?.to_string(),
+            cells_done: count("cells_done")?,
+            cells_total: count("cells_total")?,
+            trials_done: count("trials_done")?,
+            trials_total: count("trials_total")?,
+            elapsed_secs: v.field("elapsed_secs")?.as_f64()?,
+            trials_per_sec: v.field("trials_per_sec")?.as_f64()?,
+            trials_per_sec_per_worker: v.field("trials_per_sec_per_worker")?.as_f64()?,
+            workers: count("workers")?,
+            eta_secs: v.field("eta_secs")?.as_f64()?,
+            checkpoint_seq: v.field("checkpoint_seq")?.as_u32()? as u64,
+            finished: v.field("finished")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Metric;
+    use contention_core::algorithm::AlgorithmKind;
+    use contention_stats::stream::StreamingSample;
+    use std::time::Duration;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_grid() -> GridMeta {
+        GridMeta {
+            algorithms: vec![AlgorithmKind::Beb],
+            ns: vec![10, 20],
+            trials: 2,
+            metrics: vec![Metric::CwSlots],
+        }
+    }
+
+    fn cell(n: u32, samples: Vec<f64>) -> StatsCell {
+        StatsCell {
+            algorithm: AlgorithmKind::Beb,
+            n,
+            acc: MetricStats::from_parts(
+                vec![Metric::CwSlots],
+                vec![StreamingSample::from_raw(samples)],
+            ),
+        }
+    }
+
+    fn snap(cells: Vec<StatsCell>, done: usize, finished: bool) -> SweepSnapshot<MetricStats> {
+        SweepSnapshot {
+            cells,
+            completed_trials: done,
+            total_trials: 4,
+            elapsed: Duration::from_secs(2),
+            workers: 2,
+            finished,
+        }
+    }
+
+    #[test]
+    fn metrics_doc_round_trips_including_null_eta() {
+        let doc = MetricsDoc {
+            experiment: "fig5".into(),
+            cells_done: 3,
+            cells_total: 8,
+            trials_done: 7,
+            trials_total: 16,
+            elapsed_secs: 1.25,
+            trials_per_sec: 5.6,
+            trials_per_sec_per_worker: 2.8,
+            workers: 2,
+            eta_secs: f64::NAN,
+            checkpoint_seq: 4,
+            finished: false,
+        };
+        let back = MetricsDoc::parse(&doc.to_json()).unwrap();
+        assert!(back.eta_secs.is_nan(), "null must read back as NaN");
+        assert_eq!(back.trials_per_sec.to_bits(), doc.trials_per_sec.to_bits());
+        assert_eq!(
+            MetricsDoc {
+                eta_secs: 0.0,
+                ..back
+            },
+            MetricsDoc {
+                eta_secs: 0.0,
+                ..doc
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_parse_rejects_wrong_schema() {
+        let text = r#"{"schema": "bench/v1"}"#;
+        let err = MetricsDoc::parse(text).unwrap_err();
+        assert!(err.contains("unsupported metrics schema"), "{err}");
+    }
+
+    #[test]
+    fn missing_work_lists_holes_and_rejects_partial_metric_trials() {
+        let grid = tiny_grid();
+        // Cell n=10 complete, n=20 missing trial 1.
+        let state = ShardState::from_cells(
+            "t",
+            false,
+            (0, 1),
+            &grid,
+            &[cell(10, vec![1.0, 2.0]), cell(20, vec![3.0, f64::NAN])],
+        );
+        assert_eq!(missing_work(&state).unwrap(), vec![(1, vec![1])]);
+
+        // A whole cell absent → all its trials missing.
+        let state = ShardState::from_cells("t", false, (0, 1), &grid, &[cell(10, vec![1.0, 2.0])]);
+        assert_eq!(missing_work(&state).unwrap(), vec![(1, vec![0, 1])]);
+
+        // Complete state → empty plan.
+        let state = ShardState::from_cells(
+            "t",
+            false,
+            (0, 1),
+            &grid,
+            &[cell(10, vec![1.0, 2.0]), cell(20, vec![3.0, 4.0])],
+        );
+        assert!(missing_work(&state).unwrap().is_empty());
+
+        // Two metrics, trial recorded for only one → corrupt.
+        let grid2 = GridMeta {
+            metrics: vec![Metric::CwSlots, Metric::Collisions],
+            ns: vec![10],
+            ..tiny_grid()
+        };
+        let torn = StatsCell {
+            algorithm: AlgorithmKind::Beb,
+            n: 10,
+            acc: MetricStats::from_parts(
+                grid2.metrics.clone(),
+                vec![
+                    StreamingSample::from_raw(vec![1.0, f64::NAN]),
+                    StreamingSample::from_raw(vec![1.0, 2.0]),
+                ],
+            ),
+        };
+        let state = ShardState::from_cells("t", false, (0, 1), &grid2, &[torn]);
+        let err = missing_work(&state).unwrap_err();
+        assert!(err.contains("only some"), "{err}");
+    }
+
+    #[test]
+    fn writer_sequences_checkpoints_updates_latest_and_prunes() {
+        let dir = scratch_dir("writer");
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        assert_eq!(writer.next_seq(), 0);
+        for i in 0..5usize {
+            writer.snapshot(snap(
+                vec![cell(10, vec![1.0, 2.0]), cell(20, vec![3.0, f64::NAN])],
+                2 + i,
+                i == 4,
+            ));
+        }
+        let ckpt_dir = dir.join(CHECKPOINT_DIR);
+        let pointer = fs::read_to_string(ckpt_dir.join(LATEST_FILE)).unwrap();
+        assert_eq!(pointer.trim(), checkpoint_file_name("t", 4));
+        // Retention keeps the RETAIN newest.
+        assert!(!ckpt_dir.join(checkpoint_file_name("t", 0)).exists());
+        assert!(!ckpt_dir.join(checkpoint_file_name("t", 1)).exists());
+        assert!(ckpt_dir.join(checkpoint_file_name("t", 2)).exists());
+        assert!(ckpt_dir.join(checkpoint_file_name("t", 4)).exists());
+        // The sidecar reflects the last snapshot.
+        let doc = MetricsDoc::parse(&fs::read_to_string(dir.join(METRICS_FILE)).unwrap()).unwrap();
+        assert!(doc.finished);
+        assert_eq!(doc.checkpoint_seq, 4);
+        assert_eq!((doc.cells_done, doc.cells_total), (1, 2));
+        assert_eq!((doc.trials_done, doc.trials_total), (6, 4));
+        // A new writer in the same dir continues the sequence.
+        let writer2 = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        assert_eq!(writer2.next_seq(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_base_merges_prior_state_into_checkpoints() {
+        let dir = scratch_dir("base");
+        let base = ShardState::from_cells(
+            "t",
+            false,
+            (0, 1),
+            &tiny_grid(),
+            &[cell(10, vec![1.0, 2.0]), cell(20, vec![3.0, f64::NAN])],
+        );
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid())
+            .unwrap()
+            .with_base(base);
+        // The resume run records only the missing trial of n=20.
+        writer.snapshot(SweepSnapshot {
+            cells: vec![cell(20, vec![f64::NAN, 9.0])],
+            completed_trials: 1,
+            total_trials: 1,
+            elapsed: Duration::from_secs(1),
+            workers: 1,
+            finished: true,
+        });
+        let (state, seq) = load_latest(&dir).unwrap();
+        assert_eq!(seq, 0);
+        assert!(state.is_complete(), "base + resume must be complete");
+        let cells = state.into_cells();
+        assert_eq!(cells[1].acc.sample(Metric::CwSlots), &[3.0, 9.0]);
+        let doc = MetricsDoc::parse(&fs::read_to_string(dir.join(METRICS_FILE)).unwrap()).unwrap();
+        assert_eq!((doc.trials_done, doc.trials_total), (4, 4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_survives_torn_pointer_and_torn_artifact() {
+        let dir = scratch_dir("torn");
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        writer.snapshot(snap(vec![cell(10, vec![1.0, 2.0])], 2, false));
+        writer.snapshot(snap(vec![cell(10, vec![1.0, 2.0])], 2, false));
+        let ckpt_dir = dir.join(CHECKPOINT_DIR);
+
+        // Pointer names a checkpoint that no longer exists → scan fallback.
+        fs::write(ckpt_dir.join(LATEST_FILE), "t.ckpt000099.shardstate.json").unwrap();
+        let (_, seq) = load_latest(&dir).unwrap();
+        assert_eq!(seq, 1, "fallback must pick the newest valid checkpoint");
+
+        // Newest artifact truncated mid-write → next-newest wins.
+        fs::write(ckpt_dir.join(checkpoint_file_name("t", 1)), "{\"schema\": ").unwrap();
+        // A stray staged temp file from a killed write is ignored outright.
+        fs::write(
+            ckpt_dir.join(format!("{}.tmp", checkpoint_file_name("t", 2))),
+            "garbage",
+        )
+        .unwrap();
+        let (state, seq) = load_latest(&dir).unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(state.cells.len(), 1);
+
+        // Nothing valid at all → an error naming the failures.
+        fs::write(ckpt_dir.join(checkpoint_file_name("t", 0)), "also torn").unwrap();
+        let err = load_latest(&dir).unwrap_err();
+        assert!(err.contains("no valid checkpoint"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_io_failure_warns_but_does_not_panic() {
+        let dir = scratch_dir("fail");
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        // Make the checkpoint directory vanish out from under the writer.
+        fs::remove_dir_all(dir.join(CHECKPOINT_DIR)).unwrap();
+        writer.snapshot(snap(vec![cell(10, vec![1.0, 2.0])], 2, true));
+        assert!(writer.warned.load(Ordering::Relaxed));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -22,7 +22,9 @@
 //! so that a plain `cargo run --bin repro` works from the repository root;
 //! this module holds all of its logic so it stays unit-testable here.
 
+use crate::checkpoint::{self, CheckpointWriter};
 use crate::figures::sharding::{find_shardable, shardable_names};
+use crate::figures::shared::SweepHooks;
 use crate::figures::{registry, Report};
 use crate::options::Options;
 use crate::shard::{load_dir, merge_states, write_state, ShardState};
@@ -69,6 +71,9 @@ pub fn run(args: &[String]) -> ExitCode {
     if sub == "merge" {
         return run_merge(&opts);
     }
+    if sub == "resume" {
+        return run_resume(&opts);
+    }
     if sub == "bench" {
         let started = std::time::Instant::now();
         match crate::benchmark::run(&opts) {
@@ -82,6 +87,10 @@ pub fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if opts.checkpoint.is_some() {
+        return run_checkpointed(&sub, &opts);
     }
 
     let entries = registry();
@@ -102,9 +111,9 @@ pub fn run(args: &[String]) -> ExitCode {
         let report: Report = runner(&opts);
         report.print();
         if let Some(dir) = &opts.out_dir {
-            report.write_csv(dir);
-            if opts.json {
-                report.write_json(dir);
+            if let Err(e) = write_report_artifacts(&report, dir, opts.json) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
             println!(
                 "[{}] {} written to {}",
@@ -115,6 +124,167 @@ pub fn run(args: &[String]) -> ExitCode {
         }
         println!("[{}] done in {:.1?}\n", name, started.elapsed());
     }
+    ExitCode::SUCCESS
+}
+
+/// Writes a report's CSV (and optionally JSON) artifacts into `dir`.
+fn write_report_artifacts(report: &Report, dir: &Path, json: bool) -> Result<(), String> {
+    report.write_csv(dir)?;
+    if json {
+        report.write_json(dir)?;
+    }
+    Ok(())
+}
+
+/// `repro <experiment> --checkpoint[-secs/-trials N] --out DIR`: the normal
+/// single-experiment run, with a [`CheckpointWriter`] attached to the
+/// engine's snapshot seam. Requires a shardable experiment — checkpoints
+/// ride the same split cells/report pipeline and `shard_state/v1` artifact
+/// as `repro shard`.
+fn run_checkpointed(sub: &str, opts: &Options) -> ExitCode {
+    let Some(entry) = find_shardable(sub) else {
+        eprintln!(
+            "error: --checkpoint needs a shardable experiment (one sweep grid to \
+             snapshot); {sub:?} is not (shardable: {})",
+            shardable_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let dir = opts.out_dir.as_deref().expect("validated at parse time");
+    let cadence = opts.checkpoint.expect("checkpointed run").cadence();
+    let grid = (entry.grid)(opts);
+    let writer = match CheckpointWriter::new(dir, entry.name, opts.full, grid) {
+        Ok(writer) => writer,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = std::time::Instant::now();
+    let hooks = SweepHooks {
+        monitor: Some((cadence, &writer)),
+        ..SweepHooks::default()
+    };
+    let cells = (entry.cells)(opts, &hooks);
+    let report = (entry.report)(opts, &cells);
+    report.print();
+    if let Err(e) = write_report_artifacts(&report, dir, opts.json) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "[{}] {} + checkpoints written to {}",
+        entry.name,
+        if opts.json { "CSVs + JSON" } else { "CSVs" },
+        dir.display()
+    );
+    println!("[{}] done in {:.1?}\n", entry.name, started.elapsed());
+    ExitCode::SUCCESS
+}
+
+/// `repro resume DIR [--json]`: loads the newest valid checkpoint under
+/// `DIR/checkpoints/`, runs only the trials it is missing (per-trial RNG is
+/// position-addressed, so those trials are bit-identical to what the
+/// interrupted run would have produced), merges, and emits the experiment's
+/// reports into `DIR` — byte-identical to an uninterrupted run.
+fn run_resume(opts: &Options) -> ExitCode {
+    let dir = Path::new(&opts.inputs[0]);
+    let (state, seq) = match checkpoint::load_latest(dir) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(entry) = find_shardable(&state.experiment) else {
+        eprintln!(
+            "error: checkpoint names unknown experiment {:?}",
+            state.experiment
+        );
+        return ExitCode::FAILURE;
+    };
+    // Rebuild the grid-shaping options of the original run; execution knobs
+    // (--threads/--batch) may differ freely — results are independent of
+    // them.
+    let run_opts = Options {
+        full: state.full,
+        trials: Some(state.grid.trials),
+        threads: opts.threads,
+        batch: opts.batch,
+        ..Options::default()
+    };
+    let grid = (entry.grid)(&run_opts);
+    if grid != state.grid {
+        eprintln!(
+            "error: checkpoint grid does not match {:?}'s current grid \
+             (artifact from a different build?)",
+            state.experiment
+        );
+        return ExitCode::FAILURE;
+    }
+    let plan = match checkpoint::missing_work(&state) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing: usize = plan.iter().map(|(_, trials)| trials.len()).sum();
+    let total = grid.cell_count() * grid.trials as usize;
+    let name = state.experiment.clone();
+    println!(
+        "[resume] {name} from checkpoint seq {seq}: {} of {total} trials recorded, \
+         {missing} to run",
+        total - missing
+    );
+    let started = std::time::Instant::now();
+    let cells = if plan.is_empty() {
+        state.into_cells()
+    } else {
+        // Re-checkpoint as we go — with the loaded state folded in, so a
+        // second interruption still loses nothing.
+        let writer = match CheckpointWriter::new(dir, &name, run_opts.full, grid.clone()) {
+            Ok(writer) => writer.with_base(state.clone()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cadence = opts.checkpoint.unwrap_or_default().cadence();
+        let hooks = SweepHooks {
+            missing: Some(&plan),
+            monitor: Some((cadence, &writer)),
+            ..SweepHooks::default()
+        };
+        let fresh = (entry.cells)(&run_opts, &hooks);
+        match checkpoint::merge_cells(&grid, &state.into_cells(), &fresh) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let reassembled = ShardState::from_cells(&name, run_opts.full, (0, 1), &grid, &cells);
+    if !reassembled.is_complete() {
+        eprintln!("error: resumed state is still incomplete — corrupt checkpoint?");
+        for missing in reassembled.missing().iter().take(8) {
+            eprintln!("  {missing}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let report = (entry.report)(&run_opts, &cells);
+    report.print();
+    if let Err(e) = write_report_artifacts(&report, dir, opts.json) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "[resume] {name} complete: {} written to {} in {:.1?}",
+        if opts.json { "CSVs + JSON" } else { "CSVs" },
+        dir.display(),
+        started.elapsed()
+    );
     ExitCode::SUCCESS
 }
 
@@ -134,10 +304,16 @@ fn run_shard(opts: &Options) -> ExitCode {
     let total = grid.cell_count();
     let range = CellRange::shard(total, index as usize, of as usize);
     let started = std::time::Instant::now();
-    let cells = (entry.cells)(opts, Some(range));
+    let cells = (entry.cells)(opts, &SweepHooks::range(Some(range)));
     let state = ShardState::from_cells(entry.name, opts.full, (index, of), &grid, &cells);
     let dir = opts.out_dir.as_deref().expect("validated at parse time");
-    let path = write_state(dir, &state);
+    let path = match write_state(dir, &state) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "[shard] {name} shard {index}/{of}: cells [{}, {}) of {total} → {} in {:.1?}",
         range.lo,
@@ -196,9 +372,9 @@ fn run_merge(opts: &Options) -> ExitCode {
     let report = (entry.report)(&report_opts, &merged.into_cells());
     report.print();
     let dir = opts.out_dir.as_deref().expect("validated at parse time");
-    report.write_csv(dir);
-    if opts.json {
-        report.write_json(dir);
+    if let Err(e) = write_report_artifacts(&report, dir, opts.json) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     println!(
         "[merge] {count} artifacts → {} {} written to {}",
@@ -222,6 +398,8 @@ fn print_usage() {
     );
     println!("       repro shard <experiment> --shard i/N --out DIR   (partial-state artifact)");
     println!("       repro merge DIR... --out DIR [--json]            (recombine + report)");
+    println!("       repro <experiment> --checkpoint --out DIR        (crash-safe long run)");
+    println!("       repro resume DIR [--json]                        (continue from checkpoint)");
     println!();
     println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds);");
     println!("              prints trials-completed progress + ETA to stderr when it is a TTY");
@@ -234,6 +412,11 @@ fn print_usage() {
     println!("              are bit-identical for every batch size and thread count)");
     println!("  --shard i/N run only cell shard i of N (shard subcommand; merged output");
     println!("              is byte-identical to the single-process run)");
+    println!("  --checkpoint           snapshot in-flight state into DIR/checkpoints/ and");
+    println!("                         refresh DIR/metrics.json (default: every 30 s)");
+    println!("  --checkpoint-secs N    snapshot every N seconds (implies --checkpoint)");
+    println!("  --checkpoint-trials N  snapshot every N completed trials (implies it too;");
+    println!("                         resumed reports are byte-identical to uninterrupted)");
     println!();
     println!("experiments:");
     for (name, desc, _) in registry() {
@@ -387,6 +570,90 @@ mod tests {
         };
         assert_eq!(read(&direct), read(&merged), "merged CSV diverged");
         for dir in [direct, merged, shards] {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_unshardable_experiments() {
+        let out = temp_dir("ckpt-unshardable");
+        assert_eq!(
+            run(&strs(&[
+                "fig13",
+                "--checkpoint",
+                "--out",
+                out.to_str().unwrap()
+            ])),
+            ExitCode::FAILURE
+        );
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn resume_fails_cleanly_without_checkpoints() {
+        let dir = temp_dir("resume-none");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            run(&strs(&["resume", dir.to_str().unwrap()])),
+            ExitCode::FAILURE
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_run_writes_artifacts_and_resume_of_complete_state_matches() {
+        let direct = temp_dir("ckpt-direct");
+        let ckpt = temp_dir("ckpt-run");
+        assert_eq!(
+            run(&strs(&[
+                "fig5",
+                "--trials",
+                "2",
+                "--threads",
+                "2",
+                "--out",
+                direct.to_str().unwrap()
+            ])),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&strs(&[
+                "fig5",
+                "--trials",
+                "2",
+                "--threads",
+                "2",
+                "--checkpoint-trials",
+                "1",
+                "--out",
+                ckpt.to_str().unwrap()
+            ])),
+            ExitCode::SUCCESS
+        );
+        let read = |d: &std::path::Path| {
+            std::fs::read_to_string(d.join("fig5_cw_slots_abstract.csv")).unwrap()
+        };
+        assert_eq!(
+            read(&direct),
+            read(&ckpt),
+            "checkpointing changed the results"
+        );
+        // The live-metrics sidecar reports the finished run.
+        let doc = crate::checkpoint::MetricsDoc::parse(
+            &std::fs::read_to_string(ckpt.join(crate::checkpoint::METRICS_FILE)).unwrap(),
+        )
+        .unwrap();
+        assert!(doc.finished);
+        assert_eq!(doc.trials_done, doc.trials_total);
+        // The final checkpoint is complete, so resume has nothing to run —
+        // and rebuilds the identical report artifacts from the artifact.
+        std::fs::remove_file(ckpt.join("fig5_cw_slots_abstract.csv")).unwrap();
+        assert_eq!(
+            run(&strs(&["resume", ckpt.to_str().unwrap()])),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(read(&direct), read(&ckpt), "resume rebuild diverged");
+        for dir in [direct, ckpt] {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

@@ -1,15 +1,19 @@
 //! CSV emission for external plotting.
 
 use crate::aggregate::Series;
-use std::fs;
-use std::io::Write;
+use crate::fsutil;
 use std::path::{Path, PathBuf};
 
 /// Writes one figure's series to `<dir>/<name>.csv` with columns
 /// `x, series, median, ci_low, ci_high, kept, dropped`.
-/// Returns the written path.
-pub fn write_series(dir: &Path, name: &str, x_label: &str, series: &[Series]) -> PathBuf {
-    fs::create_dir_all(dir).expect("create output directory");
+/// Returns the written path; I/O failures come back as `Err`.
+pub fn write_series(
+    dir: &Path,
+    name: &str,
+    x_label: &str,
+    series: &[Series],
+) -> Result<PathBuf, String> {
+    fsutil::ensure_dir(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut out = String::new();
     out.push_str(&format!(
@@ -23,14 +27,13 @@ pub fn write_series(dir: &Path, name: &str, x_label: &str, series: &[Series]) ->
             ));
         }
     }
-    let mut f = fs::File::create(&path).expect("create CSV file");
-    f.write_all(out.as_bytes()).expect("write CSV");
-    path
+    fsutil::write_atomic(&path, out.as_bytes())?;
+    Ok(path)
 }
 
 /// Writes free-form rows (first row is the header).
-pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> PathBuf {
-    fs::create_dir_all(dir).expect("create output directory");
+pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> Result<PathBuf, String> {
+    fsutil::ensure_dir(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut out = String::new();
     for row in rows {
@@ -43,15 +46,15 @@ pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> PathBuf {
         out.push_str(&row.join(","));
         out.push('\n');
     }
-    let mut f = fs::File::create(&path).expect("create CSV file");
-    f.write_all(out.as_bytes()).expect("write CSV");
-    path
+    fsutil::write_atomic(&path, out.as_bytes())?;
+    Ok(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aggregate::SeriesPoint;
+    use std::fs;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("csvout-test-{}-{name}", std::process::id()));
@@ -73,7 +76,7 @@ mod tests {
                 dropped: 1,
             }],
         }];
-        let path = write_series(&dir, "fig_test", "n", &series);
+        let path = write_series(&dir, "fig_test", "n", &series).unwrap();
         let text = fs::read_to_string(path).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().nth(1).unwrap().starts_with("10,BEB,5,4,6,3,1"));
@@ -87,7 +90,8 @@ mod tests {
             &dir,
             "rows_test",
             &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
-        );
+        )
+        .unwrap();
         assert_eq!(fs::read_to_string(path).unwrap(), "a,b\n1,2\n");
         fs::remove_dir_all(dir).unwrap();
     }
@@ -96,6 +100,6 @@ mod tests {
     #[should_panic(expected = "separators")]
     fn comma_in_cell_panics() {
         let dir = tmp("bad");
-        write_rows(&dir, "bad", &[vec!["a,b".into()]]);
+        let _ = write_rows(&dir, "bad", &[vec!["a,b".into()]]);
     }
 }

@@ -5,7 +5,7 @@
 //! Figures 15 and 16 share one large-n sweep, so they share its grid too.
 
 use crate::aggregate::{series_per_algorithm, Series, SeriesPoint, StatsCell};
-use crate::figures::shared::{fold_grid, paper_algorithms, report_from_series};
+use crate::figures::shared::{fold_grid, paper_algorithms, report_from_series, SweepHooks};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::shard::GridMeta;
@@ -13,7 +13,6 @@ use crate::summary::Metric;
 use crate::sweep::folded;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
-use contention_sim::engine::CellRange;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
@@ -26,13 +25,13 @@ pub fn fig5_grid(opts: &Options) -> GridMeta {
     }
 }
 
-pub fn fig5_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+pub fn fig5_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
     fold_grid::<WindowedSim>(
         "fig5",
         WindowedConfig::abstract_model(AlgorithmKind::Beb),
         &fig5_grid(opts),
         opts,
-        range,
+        hooks,
     )
 }
 
@@ -53,7 +52,7 @@ pub fn fig5_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 /// numbers in magnitude and in BEB's separation, though the newer algorithms
 /// do not separate cleanly at this scale (§III-A1).
 pub fn fig5(opts: &Options) -> Report {
-    fig5_report(opts, &fig5_cells(opts, None))
+    fig5_report(opts, &fig5_cells(opts, &SweepHooks::none()))
 }
 
 /// The large-n grid of §V-A, shared by Figures 15 and 16. The paper runs
@@ -74,13 +73,13 @@ pub fn large_n_grid(opts: &Options) -> GridMeta {
     }
 }
 
-pub fn large_n_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+pub fn large_n_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
     fold_grid::<WindowedSim>(
         "fig15-16",
         WindowedConfig::abstract_model(AlgorithmKind::Beb),
         &large_n_grid(opts),
         opts,
-        range,
+        hooks,
     )
 }
 
@@ -106,13 +105,13 @@ pub fn fig15_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 /// Figure 15: CW slots at large n — STB pulls ahead and LLB finally
 /// outperforms LB, as the asymptotics (Table II) demand (§V-A(i)).
 pub fn fig15(opts: &Options) -> Report {
-    fig15_report(opts, &large_n_cells(opts, None))
+    fig15_report(opts, &large_n_cells(opts, &SweepHooks::none()))
 }
 
 /// Figure 16: ratio of median collision counts vs STB (§V-A(ii)–(iii)):
 /// LB/STB exceeds 1 quickly, LLB/STB crawls upward, BEB/STB stays flat.
 pub fn fig16(opts: &Options) -> Report {
-    fig16_report(opts, &large_n_cells(opts, None))
+    fig16_report(opts, &large_n_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig16_report(_opts: &Options, cells: &[StatsCell]) -> Report {

@@ -5,19 +5,20 @@
 //! each one forces a costly retransmission.
 
 use crate::aggregate::StatsCell;
-use crate::figures::shared::{mac_grid, mac_stats_range, standard_mac_figure_from_cells};
+use crate::figures::shared::{
+    mac_grid, mac_stats_range, standard_mac_figure_from_cells, SweepHooks,
+};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::shard::GridMeta;
 use crate::summary::Metric;
-use contention_sim::engine::CellRange;
 
 pub fn fig11_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::MaxAckTimeouts])
 }
 
-pub fn fig11_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &[Metric::MaxAckTimeouts], range)
+pub fn fig11_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::MaxAckTimeouts], hooks)
 }
 
 pub fn fig11_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -32,15 +33,15 @@ pub fn fig11_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 11: maximum number of ACK timeouts suffered by any station.
 pub fn fig11(opts: &Options) -> Report {
-    fig11_report(opts, &fig11_cells(opts, None))
+    fig11_report(opts, &fig11_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig12_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::MaxAckTimeoutTimeUs])
 }
 
-pub fn fig12_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &[Metric::MaxAckTimeoutTimeUs], range)
+pub fn fig12_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::MaxAckTimeoutTimeUs], hooks)
 }
 
 pub fn fig12_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -55,7 +56,7 @@ pub fn fig12_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 12: ACK-timeout waiting time of the station from Figure 11.
 pub fn fig12(opts: &Options) -> Report {
-    fig12_report(opts, &fig12_cells(opts, None))
+    fig12_report(opts, &fig12_cells(opts, &SweepHooks::none()))
 }
 
 #[cfg(test)]

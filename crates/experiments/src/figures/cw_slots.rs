@@ -7,20 +7,20 @@
 
 use crate::aggregate::{series_per_algorithm, StatsCell};
 use crate::figures::shared::{
-    mac_grid, mac_stats_range, paper_algorithms, report_from_series, standard_mac_figure_from_cells,
+    mac_grid, mac_stats_range, paper_algorithms, report_from_series,
+    standard_mac_figure_from_cells, SweepHooks,
 };
 use crate::figures::Report;
 use crate::options::Options;
 use crate::shard::GridMeta;
 use crate::summary::Metric;
-use contention_sim::engine::CellRange;
 
 pub fn fig3_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::CwSlots])
 }
 
-pub fn fig3_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &[Metric::CwSlots], range)
+pub fn fig3_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::CwSlots], hooks)
 }
 
 pub fn fig3_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -36,15 +36,15 @@ pub fn fig3_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 /// Figure 3: CW slots, 64 B payload. The theory's prediction (Table II) —
 /// each newer algorithm beats BEB — must hold here (Result 1).
 pub fn fig3(opts: &Options) -> Report {
-    fig3_report(opts, &fig3_cells(opts, None))
+    fig3_report(opts, &fig3_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig4_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::CwSlots])
 }
 
-pub fn fig4_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 1024, &[Metric::CwSlots], range)
+pub fn fig4_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::CwSlots], hooks)
 }
 
 pub fn fig4_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -59,7 +59,7 @@ pub fn fig4_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 4: CW slots, 1024 B payload.
 pub fn fig4(opts: &Options) -> Report {
-    fig4_report(opts, &fig4_cells(opts, None))
+    fig4_report(opts, &fig4_cells(opts, &SweepHooks::none()))
 }
 
 const FIG6_METRICS: [Metric; 2] = [Metric::HalfCwSlots, Metric::CwSlots];
@@ -68,8 +68,8 @@ pub fn fig6_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &FIG6_METRICS)
 }
 
-pub fn fig6_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &FIG6_METRICS, range)
+pub fn fig6_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &FIG6_METRICS, hooks)
 }
 
 pub fn fig6_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -102,7 +102,7 @@ pub fn fig6_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 /// first half (stragglers hurt BEB most). We print the half-completion table
 /// plus the half/full ratio that supports observation (1).
 pub fn fig6(opts: &Options) -> Report {
-    fig6_report(opts, &fig6_cells(opts, None))
+    fig6_report(opts, &fig6_cells(opts, &SweepHooks::none()))
 }
 
 #[cfg(test)]

@@ -87,8 +87,9 @@ impl Report {
         println!("{}", self.body);
     }
 
-    /// Writes all CSV artifacts into `dir`.
-    pub fn write_csv(&self, dir: &Path) {
+    /// Writes all CSV artifacts into `dir`; an I/O failure comes back as
+    /// `Err` (the CLI surfaces it through its `error:` path).
+    pub fn write_csv(&self, dir: &Path) -> Result<(), String> {
         for block in &self.csv {
             match block {
                 CsvBlock::Series {
@@ -96,17 +97,18 @@ impl Report {
                     x_label,
                     series,
                 } => {
-                    csvout::write_series(dir, name, x_label, series);
+                    csvout::write_series(dir, name, x_label, series)?;
                 }
                 CsvBlock::Rows { name, rows } => {
-                    csvout::write_rows(dir, name, rows);
+                    csvout::write_rows(dir, name, rows)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Writes the same artifacts as JSON into `dir` (`repro --json`).
-    pub fn write_json(&self, dir: &Path) {
+    pub fn write_json(&self, dir: &Path) -> Result<(), String> {
         for block in &self.csv {
             match block {
                 CsvBlock::Series {
@@ -114,13 +116,14 @@ impl Report {
                     x_label,
                     series,
                 } => {
-                    jsonout::write_series(dir, name, x_label, series);
+                    jsonout::write_series(dir, name, x_label, series)?;
                 }
                 CsvBlock::Rows { name, rows } => {
-                    jsonout::write_rows(dir, name, rows);
+                    jsonout::write_rows(dir, name, rows)?;
                 }
             }
         }
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 //! (Table II), so the gap must widen with n.
 
 use crate::aggregate::{series_per_algorithm, StatsCell};
-use crate::figures::shared::fold_grid;
+use crate::figures::shared::{fold_grid, SweepHooks};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::shard::GridMeta;
@@ -22,7 +22,6 @@ use crate::summary::Metric;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
-use contention_sim::engine::CellRange;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
@@ -44,18 +43,18 @@ pub fn grid(opts: &Options) -> GridMeta {
     }
 }
 
-pub fn cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
+pub fn cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
     fold_grid::<WindowedSim>(
         "scale",
         WindowedConfig::abstract_model(AlgorithmKind::Beb),
         &grid(opts),
         opts,
-        range,
+        hooks,
     )
 }
 
 pub fn run(opts: &Options) -> Report {
-    report(opts, &cells(opts, None))
+    report(opts, &cells(opts, &SweepHooks::none()))
 }
 
 pub fn report(opts: &Options, cells: &[StatsCell]) -> Report {

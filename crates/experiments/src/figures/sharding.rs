@@ -2,7 +2,7 @@
 //! `repro merge` can split across processes.
 //!
 //! A figure is shardable when it factors into a *cells* half (one engine
-//! sweep, restrictable to a [`CellRange`]) and a *report* half (a pure
+//! sweep, restrictable to a cell range) and a *report* half (a pure
 //! function of the folded cells). Each entry wires those halves together
 //! with the [`GridMeta`] describing the sweep, so the CLI can partition the
 //! grid, run one cell range per process, and rebuild the exact
@@ -14,10 +14,10 @@
 //! byte, including the CSV/JSON artifacts.
 
 use crate::aggregate::StatsCell;
+use crate::figures::shared::SweepHooks;
 use crate::figures::{abstract_cw, ack_timeouts, cw_slots, scale, total_time, Report};
 use crate::options::Options;
 use crate::shard::GridMeta;
-use contention_sim::engine::CellRange;
 
 /// One shardable experiment: the sweep-grid description plus the two
 /// halves of its figure pipeline.
@@ -26,9 +26,9 @@ pub struct ShardableEntry {
     pub name: &'static str,
     /// The grid the experiment sweeps under these options.
     pub grid: fn(&Options) -> GridMeta,
-    /// Runs the sweep (or the given cell range of it) and returns the
-    /// folded cells.
-    pub cells: fn(&Options, Option<CellRange>) -> Vec<StatsCell>,
+    /// Runs the sweep — restricted/sparsified/monitored per the hooks —
+    /// and returns the folded cells.
+    pub cells: fn(&Options, &SweepHooks) -> Vec<StatsCell>,
     /// Builds the figure's report from (complete) folded cells.
     pub report: fn(&Options, &[StatsCell]) -> Report,
 }
@@ -133,6 +133,7 @@ mod tests {
     use crate::figures::{registry, CsvBlock};
     use crate::jsonout;
     use crate::shard::{merge_states, ShardState};
+    use contention_sim::engine::CellRange;
 
     fn tiny_opts() -> Options {
         Options {
@@ -187,7 +188,7 @@ mod tests {
                 .find(|(n, _, _)| *n == entry.name)
                 .expect("registered");
             let direct = runner(&opts);
-            let split = (entry.report)(&opts, &(entry.cells)(&opts, None));
+            let split = (entry.report)(&opts, &(entry.cells)(&opts, &SweepHooks::none()));
             assert_eq!(
                 rendered(&direct),
                 rendered(&split),
@@ -204,7 +205,7 @@ mod tests {
         let opts = tiny_opts();
         for entry in shardable_registry() {
             let grid = (entry.grid)(&opts);
-            let cells = (entry.cells)(&opts, None);
+            let cells = (entry.cells)(&opts, &SweepHooks::none());
             assert_eq!(cells.len(), grid.cell_count(), "{}", entry.name);
             let mut expected = Vec::new();
             for &alg in &grid.algorithms {
@@ -232,7 +233,7 @@ mod tests {
         let states: Vec<ShardState> = (0..2)
             .map(|i| {
                 let range = CellRange::shard(grid.cell_count(), i, 2);
-                let cells = (entry.cells)(&opts, Some(range));
+                let cells = (entry.cells)(&opts, &SweepHooks::range(Some(range)));
                 let text =
                     ShardState::from_cells(entry.name, opts.full, (i as u32, 2), &grid, &cells)
                         .to_json();
@@ -242,7 +243,7 @@ mod tests {
         let merged = merge_states(states).expect("compatible shards");
         assert!(merged.is_complete());
         let report = (entry.report)(&opts, &merged.into_cells());
-        let direct = (entry.report)(&opts, &(entry.cells)(&opts, None));
+        let direct = (entry.report)(&opts, &(entry.cells)(&opts, &SweepHooks::none()));
         assert_eq!(rendered(&report), rendered(&direct));
     }
 }

@@ -18,29 +18,61 @@ use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_mac::{MacConfig, MacSim};
 use contention_sim::engine::CellRange;
+use contention_sim::monitor::{SnapshotCadence, SweepMonitor};
 
 /// The paper's four head-to-head algorithms.
 pub fn paper_algorithms() -> Vec<AlgorithmKind> {
     AlgorithmKind::PAPER_SET.to_vec()
 }
 
+/// Execution seams the CLI threads into a shardable figure's sweep. One
+/// struct (rather than a parameter per seam) because every shardable
+/// `*_cells` function forwards it untouched to [`fold_grid`].
+#[derive(Default, Clone, Copy)]
+pub struct SweepHooks<'a> {
+    /// Restrict the run to these grid cells (`repro shard`).
+    pub range: Option<CellRange>,
+    /// Run only these `(grid cell index, trials)` (`repro resume`); mutually
+    /// exclusive with `range`.
+    pub missing: Option<&'a [(usize, Vec<u32>)]>,
+    /// Snapshot the in-flight accumulators on this cadence into this sink
+    /// (`--checkpoint`).
+    pub monitor: Option<(SnapshotCadence, &'a dyn SweepMonitor<MetricStats>)>,
+}
+
+impl<'a> SweepHooks<'a> {
+    /// No seams attached: the plain full-grid run.
+    pub fn none() -> SweepHooks<'static> {
+        SweepHooks::default()
+    }
+
+    /// Only a cell-range restriction (the `repro shard` path).
+    pub fn range(range: Option<CellRange>) -> SweepHooks<'static> {
+        SweepHooks {
+            range,
+            ..SweepHooks::default()
+        }
+    }
+}
+
 /// Runs (part of) one grid on any backend, folded down to the grid's
 /// metrics — the single engine-facing entry point every shardable figure
 /// rides, so the grid description (what `repro shard` partitions and what
 /// the artifact records) and the sweep that executes can never disagree.
-/// `range` restricts the run to those grid cells; `None` runs everything.
+/// `hooks` carries the execution seams: cell-range restriction, sparse
+/// resume plan, checkpoint monitor.
 pub fn fold_grid<S: Simulator>(
     experiment: &'static str,
     config: S::Config,
     grid: &GridMeta,
     opts: &Options,
-    range: Option<CellRange>,
+    hooks: &SweepHooks,
 ) -> Vec<StatsCell>
 where
     TrialSummary: From<S::Output>,
 {
     let mut exec = opts.exec();
-    exec.cells = range;
+    exec.cells = hooks.range;
     Sweep::<S> {
         experiment,
         config,
@@ -49,7 +81,11 @@ where
         trials: grid.trials,
         exec,
     }
-    .run_fold(MetricStats::collector(&grid.metrics))
+    .run_fold_monitored(
+        MetricStats::collector(&grid.metrics),
+        hooks.missing,
+        hooks.monitor,
+    )
 }
 
 /// The grid every standard MAC figure sweeps (payload-independent).
@@ -63,12 +99,12 @@ pub fn mac_grid(opts: &Options, metrics: &[Metric]) -> GridMeta {
 }
 
 /// The shared MAC sweep for one payload size, folded down to `metrics`,
-/// optionally restricted to a cell range.
+/// with the CLI's execution seams attached.
 pub fn mac_stats_range(
     opts: &Options,
     payload: u32,
     metrics: &[Metric],
-    range: Option<CellRange>,
+    hooks: &SweepHooks,
 ) -> Vec<StatsCell> {
     let experiment: &'static str = match payload {
         64 => "mac-64",
@@ -81,13 +117,13 @@ pub fn mac_stats_range(
         MacConfig::paper(AlgorithmKind::Beb, payload),
         &mac_grid(opts, metrics),
         opts,
-        range,
+        hooks,
     )
 }
 
 /// The shared MAC sweep for one payload size, folded down to `metrics`.
 pub fn mac_stats(opts: &Options, payload: u32, metrics: &[Metric]) -> Vec<StatsCell> {
-    mac_stats_range(opts, payload, metrics, None)
+    mac_stats_range(opts, payload, metrics, &SweepHooks::none())
 }
 
 /// A one-cell sweep: all trials of a single `(config, n)` pair, streamed

@@ -7,19 +7,20 @@
 //! process sharding) and `*_report` (pure function of the folded cells).
 
 use crate::aggregate::StatsCell;
-use crate::figures::shared::{mac_grid, mac_stats_range, standard_mac_figure_from_cells};
+use crate::figures::shared::{
+    mac_grid, mac_stats_range, standard_mac_figure_from_cells, SweepHooks,
+};
 use crate::figures::Report;
 use crate::options::Options;
 use crate::shard::GridMeta;
 use crate::summary::Metric;
-use contention_sim::engine::CellRange;
 
 pub fn fig7_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::TotalTimeUs])
 }
 
-pub fn fig7_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &[Metric::TotalTimeUs], range)
+pub fn fig7_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::TotalTimeUs], hooks)
 }
 
 pub fn fig7_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -34,15 +35,15 @@ pub fn fig7_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 7: total time, 64 B payload.
 pub fn fig7(opts: &Options) -> Report {
-    fig7_report(opts, &fig7_cells(opts, None))
+    fig7_report(opts, &fig7_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig8_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::TotalTimeUs])
 }
 
-pub fn fig8_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 1024, &[Metric::TotalTimeUs], range)
+pub fn fig8_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::TotalTimeUs], hooks)
 }
 
 pub fn fig8_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -57,15 +58,15 @@ pub fn fig8_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 8: total time, 1024 B payload (larger packets favour BEB more).
 pub fn fig8(opts: &Options) -> Report {
-    fig8_report(opts, &fig8_cells(opts, None))
+    fig8_report(opts, &fig8_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig9_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::HalfTimeUs])
 }
 
-pub fn fig9_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 64, &[Metric::HalfTimeUs], range)
+pub fn fig9_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 64, &[Metric::HalfTimeUs], hooks)
 }
 
 pub fn fig9_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -81,15 +82,15 @@ pub fn fig9_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 /// Figure 9: time until n/2 packets complete, 64 B — stragglers are *not*
 /// the explanation; BEB leads on the first half too.
 pub fn fig9(opts: &Options) -> Report {
-    fig9_report(opts, &fig9_cells(opts, None))
+    fig9_report(opts, &fig9_cells(opts, &SweepHooks::none()))
 }
 
 pub fn fig10_grid(opts: &Options) -> GridMeta {
     mac_grid(opts, &[Metric::HalfTimeUs])
 }
 
-pub fn fig10_cells(opts: &Options, range: Option<CellRange>) -> Vec<StatsCell> {
-    mac_stats_range(opts, 1024, &[Metric::HalfTimeUs], range)
+pub fn fig10_cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    mac_stats_range(opts, 1024, &[Metric::HalfTimeUs], hooks)
 }
 
 pub fn fig10_report(_opts: &Options, cells: &[StatsCell]) -> Report {
@@ -104,7 +105,7 @@ pub fn fig10_report(_opts: &Options, cells: &[StatsCell]) -> Report {
 
 /// Figure 10: time until n/2 packets complete, 1024 B.
 pub fn fig10(opts: &Options) -> Report {
-    fig10_report(opts, &fig10_cells(opts, None))
+    fig10_report(opts, &fig10_cells(opts, &SweepHooks::none()))
 }
 
 #[cfg(test)]

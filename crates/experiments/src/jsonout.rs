@@ -10,8 +10,7 @@
 //! serialization path until upstream serde is available.)
 
 use crate::aggregate::Series;
-use std::fs;
-use std::io::Write;
+use crate::fsutil;
 use std::path::{Path, PathBuf};
 
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
@@ -94,27 +93,33 @@ pub fn rows_json(name: &str, rows: &[Vec<String>]) -> String {
 }
 
 /// Writes one figure's series to `<dir>/<name>.json`; returns the path.
-pub fn write_series(dir: &Path, name: &str, x_label: &str, series: &[Series]) -> PathBuf {
+/// I/O failures come back as `Err`.
+pub fn write_series(
+    dir: &Path,
+    name: &str,
+    x_label: &str,
+    series: &[Series],
+) -> Result<PathBuf, String> {
     write(dir, name, series_json(name, x_label, series))
 }
 
 /// Writes a row table to `<dir>/<name>.json`; returns the path.
-pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> PathBuf {
+pub fn write_rows(dir: &Path, name: &str, rows: &[Vec<String>]) -> Result<PathBuf, String> {
     write(dir, name, rows_json(name, rows))
 }
 
-fn write(dir: &Path, name: &str, text: String) -> PathBuf {
-    fs::create_dir_all(dir).expect("create output directory");
+fn write(dir: &Path, name: &str, text: String) -> Result<PathBuf, String> {
+    fsutil::ensure_dir(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let mut f = fs::File::create(&path).expect("create JSON file");
-    f.write_all(text.as_bytes()).expect("write JSON");
-    path
+    fsutil::write_atomic(&path, text.as_bytes())?;
+    Ok(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aggregate::SeriesPoint;
+    use std::fs;
 
     fn sample_series() -> Vec<Series> {
         vec![
@@ -184,10 +189,10 @@ mod tests {
     fn files_round_trip() {
         let dir = std::env::temp_dir().join(format!("jsonout-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let path = write_series(&dir, "fig_test", "n", &sample_series());
+        let path = write_series(&dir, "fig_test", "n", &sample_series()).unwrap();
         let text = fs::read_to_string(&path).unwrap();
         assert_eq!(text, series_json("fig_test", "n", &sample_series()));
-        let path = write_rows(&dir, "rows_test", &[vec!["a".into()]]);
+        let path = write_rows(&dir, "rows_test", &[vec!["a".into()]]).unwrap();
         assert!(fs::read_to_string(&path).unwrap().contains("[\"a\"]"));
         fs::remove_dir_all(dir).unwrap();
     }

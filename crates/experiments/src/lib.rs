@@ -24,6 +24,13 @@
 //! * [`shard`] — process-sharded sweep state (`shard_state/v1` artifacts):
 //!   `repro shard` serializes per-cell accumulator buffers, `repro merge`
 //!   recombines them into reports byte-identical to a single-process run.
+//! * [`fsutil`] — crash-safe artifact writes (temp file + fsync + rename);
+//!   every on-disk artifact goes through it.
+//! * [`checkpoint`] — crash-safe long runs: the `CheckpointWriter` sweep
+//!   monitor persists in-flight state as `shard_state/v1` checkpoints plus a
+//!   `metrics.json` live-progress sidecar; `repro resume DIR` reloads the
+//!   newest valid checkpoint and runs only the missing trials, byte-identical
+//!   to an uninterrupted run.
 //! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids,
 //!   `--threads` / `--batch` execution knobs).
 //! * [`cli`] — the `repro` entry point; the binary itself lives in the
@@ -31,9 +38,11 @@
 
 pub mod aggregate;
 pub mod benchmark;
+pub mod checkpoint;
 pub mod cli;
 pub mod csvout;
 pub mod figures;
+pub mod fsutil;
 pub mod jsonin;
 pub mod jsonout;
 pub mod options;

@@ -1,7 +1,37 @@
 //! CLI options shared by every `repro` subcommand.
 
 use contention_sim::engine::ExecPolicy;
+use contention_sim::monitor::SnapshotCadence;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Checkpoint cadence knobs (`--checkpoint`, `--checkpoint-secs`,
+/// `--checkpoint-trials`). Either axis snapshots the run; with neither
+/// given, `--checkpoint` defaults to every 30 seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointOpts {
+    /// Snapshot every this many seconds.
+    pub secs: Option<u64>,
+    /// Snapshot every this many completed trials.
+    pub trials: Option<usize>,
+}
+
+impl CheckpointOpts {
+    /// Default wall-clock cadence when only bare `--checkpoint` was given.
+    pub const DEFAULT_SECS: u64 = 30;
+
+    /// The engine-facing cadence these knobs describe.
+    pub fn cadence(&self) -> SnapshotCadence {
+        if self.secs.is_none() && self.trials.is_none() {
+            SnapshotCadence::secs(Self::DEFAULT_SECS)
+        } else {
+            SnapshotCadence {
+                every: self.secs.map(Duration::from_secs),
+                every_trials: self.trials,
+            }
+        }
+    }
+}
 
 /// Harness options.
 ///
@@ -27,6 +57,9 @@ pub struct Options {
     pub quick: bool,
     /// `--shard i/N`: run only shard `i` of `N` (the `shard` subcommand).
     pub shard: Option<(u32, u32)>,
+    /// `--checkpoint[-secs/-trials]`: periodically snapshot in-flight state
+    /// into `--out/checkpoints/` (and refresh `metrics.json`).
+    pub checkpoint: Option<CheckpointOpts>,
     /// Positional arguments after the subcommand: the experiment name for
     /// `shard`, the artifact directories for `merge`. Empty elsewhere.
     pub inputs: Vec<String>,
@@ -102,6 +135,33 @@ impl Options {
                     let v = it.next().ok_or("--shard needs a value like 0/4")?;
                     opts.shard = Some(Self::parse_shard(v)?);
                 }
+                "--checkpoint" => {
+                    opts.checkpoint.get_or_insert_with(CheckpointOpts::default);
+                }
+                "--checkpoint-secs" => {
+                    let v = it.next().ok_or("--checkpoint-secs needs a value")?;
+                    let secs: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad checkpoint interval {v:?}"))?;
+                    if secs == 0 {
+                        return Err("--checkpoint-secs must be at least 1".to_string());
+                    }
+                    opts.checkpoint
+                        .get_or_insert_with(CheckpointOpts::default)
+                        .secs = Some(secs);
+                }
+                "--checkpoint-trials" => {
+                    let v = it.next().ok_or("--checkpoint-trials needs a value")?;
+                    let trials: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad checkpoint trial count {v:?}"))?;
+                    if trials == 0 {
+                        return Err("--checkpoint-trials must be at least 1".to_string());
+                    }
+                    opts.checkpoint
+                        .get_or_insert_with(CheckpointOpts::default)
+                        .trials = Some(trials);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
@@ -144,12 +204,28 @@ impl Options {
             return Err(format!("--quick only applies to `bench`, not {sub:?}"));
         }
         // `bench --json` writes ./BENCH_mac.json without needing --out;
-        // every figure needs a directory to put its JSON series in.
-        if self.json && self.out_dir.is_none() && sub != "bench" {
+        // `resume DIR` writes into DIR itself; every other figure needs a
+        // directory to put its JSON series in.
+        if self.json && self.out_dir.is_none() && sub != "bench" && sub != "resume" {
             return Err("--json needs --out DIR to write into".to_string());
         }
         if self.shard.is_some() && sub != "shard" {
             return Err(format!("--shard only applies to `shard`, not {sub:?}"));
+        }
+        if self.checkpoint.is_some() {
+            match sub {
+                // Resume re-checkpoints into the run directory automatically;
+                // the flags only tune its cadence there.
+                "resume" => {}
+                "shard" | "merge" | "bench" | "all" => {
+                    return Err(format!("--checkpoint does not apply to {sub:?}"));
+                }
+                _ => {
+                    if self.out_dir.is_none() {
+                        return Err("--checkpoint needs --out DIR for its artifacts".to_string());
+                    }
+                }
+            }
         }
         match sub {
             "shard" => {
@@ -198,6 +274,29 @@ impl Options {
                         return Err(format!(
                             "{flag} does not apply to `merge` (merging folds saved shard \
                              state; no trials run)"
+                        ));
+                    }
+                }
+            }
+            "resume" => {
+                if self.inputs.len() != 1 {
+                    return Err(
+                        "resume needs exactly one run directory, e.g. `repro resume DIR`"
+                            .to_string(),
+                    );
+                }
+                if self.out_dir.is_some() {
+                    return Err(
+                        "resume writes into the run directory itself; drop --out".to_string()
+                    );
+                }
+                // The grid must come from the checkpoint — overriding it
+                // would make the resumed run diverge from the original.
+                for (set, flag) in [(self.trials.is_some(), "--trials"), (self.full, "--full")] {
+                    if set {
+                        return Err(format!(
+                            "{flag} does not apply to `resume` (the grid comes from the \
+                             checkpoint artifact)"
                         ));
                     }
                 }
@@ -350,6 +449,73 @@ mod tests {
                 "{flags:?}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let (_, opts) = Options::parse(&strs(&["fig5", "--checkpoint", "--out", "/t"])).unwrap();
+        assert_eq!(opts.checkpoint, Some(CheckpointOpts::default()));
+        assert_eq!(
+            opts.checkpoint.unwrap().cadence(),
+            SnapshotCadence::secs(CheckpointOpts::DEFAULT_SECS)
+        );
+        // Either cadence flag implies --checkpoint.
+        let (_, opts) =
+            Options::parse(&strs(&["fig5", "--checkpoint-secs", "5", "--out", "/t"])).unwrap();
+        assert_eq!(opts.checkpoint.unwrap().cadence(), SnapshotCadence::secs(5));
+        let (_, opts) =
+            Options::parse(&strs(&["fig5", "--checkpoint-trials", "64", "--out", "/t"])).unwrap();
+        assert_eq!(
+            opts.checkpoint.unwrap().cadence(),
+            SnapshotCadence::trials(64)
+        );
+        // Checkpointing needs somewhere to write.
+        let err = Options::parse(&strs(&["fig5", "--checkpoint"])).unwrap_err();
+        assert!(err.contains("--checkpoint needs --out"), "{err}");
+        // Zero cadences are rejected.
+        assert!(Options::parse(&strs(&["fig5", "--checkpoint-secs", "0", "--out", "/t"])).is_err());
+        assert!(
+            Options::parse(&strs(&["fig5", "--checkpoint-trials", "0", "--out", "/t"])).is_err()
+        );
+        // Subcommands that run no single figure sweep reject it.
+        for sub in [
+            vec!["merge", "a", "--out", "/t", "--checkpoint"],
+            vec!["bench", "--checkpoint"],
+            vec!["all", "--checkpoint", "--out", "/t"],
+            vec![
+                "shard",
+                "fig5",
+                "--shard",
+                "0/2",
+                "--out",
+                "/t",
+                "--checkpoint",
+            ],
+        ] {
+            let err = Options::parse(&strs(&sub)).unwrap_err();
+            assert!(
+                err.contains("--checkpoint does not apply"),
+                "{sub:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_mode_takes_one_dir_and_rejects_grid_overrides() {
+        let (sub, opts) = Options::parse(&strs(&["resume", "/t/run", "--json"])).unwrap();
+        assert_eq!(sub, "resume");
+        assert_eq!(opts.inputs, vec!["/t/run"]);
+        assert!(opts.json && opts.out_dir.is_none());
+        // Cadence tuning for the automatic re-checkpointing is allowed.
+        let (_, opts) =
+            Options::parse(&strs(&["resume", "/t/run", "--checkpoint-secs", "9"])).unwrap();
+        assert_eq!(opts.checkpoint.unwrap().secs, Some(9));
+        // No dir, two dirs, --out, and grid overrides all fail up front.
+        assert!(Options::parse(&strs(&["resume"])).is_err());
+        assert!(Options::parse(&strs(&["resume", "a", "b"])).is_err());
+        assert!(Options::parse(&strs(&["resume", "a", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["resume", "a", "--trials", "5"])).is_err());
+        assert!(Options::parse(&strs(&["resume", "a", "--full"])).is_err());
     }
 
     #[test]

@@ -43,7 +43,6 @@ use crate::summary::Metric;
 use contention_core::algorithm::AlgorithmKind;
 use contention_stats::stream::StreamingSample;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Schema tag every artifact carries; bumped on layout changes.
@@ -366,28 +365,37 @@ impl ShardState {
     }
 }
 
-/// Writes an artifact to `<dir>/<file_name()>`; returns the path.
-pub fn write_state(dir: &Path, state: &ShardState) -> PathBuf {
-    fs::create_dir_all(dir).expect("create output directory");
+/// Writes an artifact to `<dir>/<file_name()>` atomically (staged as
+/// `*.tmp`, fsynced, renamed — a killed process can never leave a truncated
+/// artifact under the real name); returns the path. I/O failures come back
+/// as `Err`, never a panic: a full disk or bad permissions must surface
+/// through the CLI's `error:` path.
+pub fn write_state(dir: &Path, state: &ShardState) -> Result<PathBuf, String> {
+    crate::fsutil::ensure_dir(dir)?;
     let path = dir.join(state.file_name());
-    let mut f = fs::File::create(&path).expect("create shard artifact");
-    f.write_all(state.to_json().as_bytes())
-        .expect("write shard artifact");
-    path
+    crate::fsutil::write_atomic(&path, state.to_json().as_bytes())?;
+    Ok(path)
 }
 
 /// Loads every `*.shardstate.json` artifact in `dir`, in file-name order
 /// (merging is order-insensitive; the order only stabilizes error messages).
+/// Staged `*.tmp` files from torn writes are ignored; an unreadable
+/// directory entry is an error (silently skipping one would surface later
+/// as a misleading "merged state is incomplete").
 pub fn load_dir(dir: &Path) -> Result<Vec<ShardState>, String> {
     let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|f| f.to_str())
-                .is_some_and(|f| f.ends_with(SHARD_SUFFIX))
-        })
-        .collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read an entry of {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .is_some_and(|f| f.ends_with(SHARD_SUFFIX))
+        {
+            paths.push(path);
+        }
+    }
     paths.sort();
     if paths.is_empty() {
         return Err(format!("no *{SHARD_SUFFIX} artifacts in {}", dir.display()));

@@ -30,6 +30,7 @@
 //! experiment layer changes. This is the seam where additional channel
 //! models (e.g. the noisy/corrupted-slot model of arXiv:2408.11275) slot in.
 
+use crate::monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
 use crate::parallel::{auto_batch, parallel_for_batches};
 use crate::progress::Progress;
 use crate::summary::TrialSummary;
@@ -37,6 +38,22 @@ use contention_core::algorithm::AlgorithmKind;
 use contention_core::rng::{experiment_tag, trial_rng};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long the snapshot thread sleeps between cadence checks. Snapshots
+/// themselves are taken at the requested cadence; this only bounds how stale
+/// the "is one due?" decision can be.
+const SNAPSHOT_POLL: Duration = Duration::from_millis(20);
+
+/// The internals a monitored run threads to its snapshot thread. The
+/// accumulator clone is a stored `fn` so the common (unmonitored) paths do
+/// not pick up an `A: Clone` bound.
+struct MonitorHook<'a, A> {
+    cadence: SnapshotCadence,
+    sink: &'a dyn SweepMonitor<A>,
+    clone_acc: fn(&A) -> A,
+}
 
 /// One execution backend: everything [`Sweep`] needs to run trials of it.
 ///
@@ -304,7 +321,34 @@ impl<S: Simulator> Sweep<S> {
     /// each raw output inside the worker, and folds it into its cell's
     /// accumulator — still inside the worker. Nothing per-trial survives
     /// beyond what the accumulator retains.
-    fn run_streamed<T, A, M, I>(&self, map: M, mut init: I) -> Vec<FoldedCell<A>>
+    fn run_streamed<T, A, M, I>(&self, map: M, init: I) -> Vec<FoldedCell<A>>
+    where
+        A: Accumulator<T> + Send,
+        M: Fn(S::Output) -> T + Sync,
+        I: FnMut(AlgorithmKind, u32, u32) -> A,
+    {
+        self.run_streamed_core(map, init, None, None)
+    }
+
+    /// [`run_streamed`](Self::run_streamed), generalized along the two
+    /// seams checkpoint/resume needs:
+    ///
+    /// * `missing` — a sparse work plan: only the listed
+    ///   `(grid cell index, trials)` execute (the resume path). `None` runs
+    ///   the dense grid, restricted by `ExecPolicy::cells` as before.
+    ///   Per-trial RNG derivation is untouched either way, so a sparse run's
+    ///   values are bit-identical to the same trials of a full run.
+    /// * `monitor` — a snapshot thread that periodically clones the in-flight
+    ///   accumulators (each under its own cell lock — workers keep claiming
+    ///   batches) and hands them to the sink; one final snapshot is
+    ///   guaranteed after the workers join.
+    fn run_streamed_core<T, A, M, I>(
+        &self,
+        map: M,
+        mut init: I,
+        missing: Option<&[(usize, Vec<u32>)]>,
+        monitor: Option<MonitorHook<'_, A>>,
+    ) -> Vec<FoldedCell<A>>
     where
         A: Accumulator<T> + Send,
         M: Fn(S::Output) -> T + Sync,
@@ -313,26 +357,62 @@ impl<S: Simulator> Sweep<S> {
         self.validate_grid();
         let tag = experiment_tag(self.experiment);
         let trials = self.trials as usize;
-        let mut grid: Vec<(AlgorithmKind, u32)> = self
+        let full_grid: Vec<(AlgorithmKind, u32)> = self
             .algorithms
             .iter()
             .flat_map(|&alg| self.ns.iter().map(move |&n| (alg, n)))
             .collect();
-        if let Some(range) = self.exec.cells {
-            assert!(
-                range.lo <= range.hi && range.hi <= grid.len(),
-                "cell range [{}, {}) outside the {}-cell grid",
-                range.lo,
-                range.hi,
-                grid.len()
-            );
-            grid = grid[range.lo..range.hi].to_vec();
-        }
+        // Resolve the work plan: which cells exist, and how a claimed work
+        // index maps onto (cell, trial).
+        type SparseItems = Option<Vec<(usize, u32)>>;
+        let (grid, sparse): (Vec<(AlgorithmKind, u32)>, SparseItems) = match missing {
+            None => {
+                let mut grid = full_grid;
+                if let Some(range) = self.exec.cells {
+                    assert!(
+                        range.lo <= range.hi && range.hi <= grid.len(),
+                        "cell range [{}, {}) outside the {}-cell grid",
+                        range.lo,
+                        range.hi,
+                        grid.len()
+                    );
+                    grid = grid[range.lo..range.hi].to_vec();
+                }
+                (grid, None)
+            }
+            Some(missing) => {
+                assert!(
+                    self.exec.cells.is_none(),
+                    "a sparse work plan already names its cells; drop ExecPolicy::cells"
+                );
+                let mut grid = Vec::with_capacity(missing.len());
+                let mut items = Vec::new();
+                for (local, (cell_index, cell_trials)) in missing.iter().enumerate() {
+                    assert!(
+                        *cell_index < full_grid.len(),
+                        "missing-work cell {cell_index} outside the {}-cell grid",
+                        full_grid.len()
+                    );
+                    grid.push(full_grid[*cell_index]);
+                    for &trial in cell_trials {
+                        assert!(
+                            (trial as usize) < trials,
+                            "missing-work trial {trial} outside 0..{trials}"
+                        );
+                        items.push((local, trial));
+                    }
+                }
+                (grid, Some(items))
+            }
+        };
         let accumulators: Vec<Mutex<A>> = grid
             .iter()
             .map(|&(alg, n)| Mutex::new(init(alg, n, self.trials)))
             .collect();
-        let total = grid.len() * trials;
+        let total = match &sparse {
+            None => grid.len() * trials,
+            Some(items) => items.len(),
+        };
         if total > 0 {
             let threads = self.exec.threads.unwrap_or_else(default_threads);
             let batch = self
@@ -341,27 +421,83 @@ impl<S: Simulator> Sweep<S> {
                 .unwrap_or_else(|| auto_batch(total, threads));
             let progress = Progress::new(total, self.exec.progress);
             let base = self.config.clone();
-            // The work item for global index g is (cell g / trials,
-            // trial g % trials) — computed, never stored. Each worker owns
-            // one scratch arena for its whole share of the sweep.
-            parallel_for_batches(
-                total,
-                threads,
-                batch,
-                S::Scratch::default,
-                |range, scratch| {
-                    for g in range {
-                        let cell_index = g / trials;
-                        let trial = (g % trials) as u32;
-                        let (alg, n) = grid[cell_index];
-                        let config = S::with_algorithm(&base, alg);
-                        let mut rng = trial_rng(tag, alg, n, trial);
-                        let value = map(S::run_with(&config, n, &mut rng, scratch));
-                        accumulators[cell_index].lock().record(trial, value);
-                        progress.tick();
-                    }
-                },
-            );
+            // The dense work item for global index g is (cell g / trials,
+            // trial g % trials) — computed, never stored; sparse plans look
+            // the pair up. Each worker owns one scratch arena for its whole
+            // share of the sweep.
+            let run_workers = || {
+                parallel_for_batches(
+                    total,
+                    threads,
+                    batch,
+                    S::Scratch::default,
+                    |range, scratch| {
+                        for g in range {
+                            let (cell_index, trial) = match &sparse {
+                                None => (g / trials, (g % trials) as u32),
+                                Some(items) => items[g],
+                            };
+                            let (alg, n) = grid[cell_index];
+                            let config = S::with_algorithm(&base, alg);
+                            let mut rng = trial_rng(tag, alg, n, trial);
+                            let value = map(S::run_with(&config, n, &mut rng, scratch));
+                            accumulators[cell_index].lock().record(trial, value);
+                            progress.tick();
+                        }
+                    },
+                );
+            };
+            match &monitor {
+                None => run_workers(),
+                Some(hook) => {
+                    let stop = AtomicBool::new(false);
+                    let started = Instant::now();
+                    std::thread::scope(|scope| {
+                        scope.spawn(|| {
+                            let mut last_snap = Instant::now();
+                            let mut last_done = 0usize;
+                            loop {
+                                // Read the stop flag *before* the counter:
+                                // if workers finish in between, the final
+                                // pass still runs with stopping == false and
+                                // the next iteration takes the guaranteed
+                                // finished snapshot.
+                                let stopping = stop.load(Ordering::Acquire);
+                                let done = progress.completed();
+                                if stopping
+                                    || hook.cadence.due(last_snap.elapsed(), done - last_done)
+                                {
+                                    let cells = grid
+                                        .iter()
+                                        .zip(&accumulators)
+                                        .map(|(&(algorithm, n), acc)| FoldedCell {
+                                            algorithm,
+                                            n,
+                                            acc: (hook.clone_acc)(&acc.lock()),
+                                        })
+                                        .collect();
+                                    hook.sink.snapshot(SweepSnapshot {
+                                        cells,
+                                        completed_trials: done,
+                                        total_trials: total,
+                                        elapsed: started.elapsed(),
+                                        workers: threads,
+                                        finished: stopping,
+                                    });
+                                    last_snap = Instant::now();
+                                    last_done = done;
+                                }
+                                if stopping {
+                                    break;
+                                }
+                                std::thread::sleep(SNAPSHOT_POLL);
+                            }
+                        });
+                        run_workers();
+                        stop.store(true, Ordering::Release);
+                    });
+                }
+            }
             progress.finish();
         }
         grid.into_iter()
@@ -425,6 +561,35 @@ where
         I: FnMut(AlgorithmKind, u32, u32) -> A,
     {
         self.run_streamed(TrialSummary::from, init)
+    }
+
+    /// [`run_fold`](Self::run_fold) with the crash-safety seams attached:
+    ///
+    /// * `missing` — run only the listed `(grid cell index, trials)` instead
+    ///   of the dense grid (the resume path; indices address the full
+    ///   `algorithms × ns` grid and must not be combined with
+    ///   `ExecPolicy::cells`). Returned cells are in plan order. Per-trial
+    ///   values are bit-identical to the same trials of a full run.
+    /// * `monitor` — a snapshot sink called on `cadence` from a dedicated
+    ///   thread with clones of the in-flight accumulators, plus once more
+    ///   (with `finished: true`) after the workers join. Snapshots are
+    ///   read-only: results are unaffected by the monitor's presence.
+    pub fn run_fold_monitored<A, I>(
+        &self,
+        init: I,
+        missing: Option<&[(usize, Vec<u32>)]>,
+        monitor: Option<(SnapshotCadence, &dyn SweepMonitor<A>)>,
+    ) -> Vec<FoldedCell<A>>
+    where
+        A: Accumulator<TrialSummary> + Clone + Send,
+        I: FnMut(AlgorithmKind, u32, u32) -> A,
+    {
+        let hook = monitor.map(|(cadence, sink)| MonitorHook {
+            cadence,
+            sink,
+            clone_acc: A::clone,
+        });
+        self.run_streamed_core(TrialSummary::from, init, missing, hook)
     }
 }
 
@@ -619,6 +784,88 @@ mod tests {
             assert_eq!(f.acc, expect, "fold diverged at {}/{}", c.algorithm, c.n);
         }
         assert_eq!(folded(&folded_cells, AlgorithmKind::Beb, 10).n, 10);
+    }
+
+    #[test]
+    fn sparse_plan_reproduces_the_dense_trials() {
+        // Split the toy grid's work into two disjoint sparse plans; together
+        // they must reproduce the dense fold exactly (same per-trial RNG),
+        // and each plan alone only touches its listed cells/trials.
+        let dense = toy_sweep(ExecPolicy::threads(2)).run_fold(|_, _, _| CwSum::default());
+        let first: Vec<(usize, Vec<u32>)> = vec![(0, vec![0, 2]), (3, vec![1])];
+        let rest: Vec<(usize, Vec<u32>)> = (0..6)
+            .map(|cell| {
+                let done: &[u32] = match cell {
+                    0 => &[0, 2],
+                    3 => &[1],
+                    _ => &[],
+                };
+                (cell, (0..4).filter(|t| !done.contains(t)).collect())
+            })
+            .collect();
+        let mut merged = vec![CwSum::default(); 6];
+        for plan in [&first, &rest] {
+            let cells = toy_sweep(ExecPolicy::threads(3).with_batch(2)).run_fold_monitored(
+                |_, _, _| CwSum::default(),
+                Some(plan),
+                None,
+            );
+            assert_eq!(cells.len(), plan.len());
+            for ((cell_index, trials), cell) in plan.iter().zip(&cells) {
+                assert_eq!(
+                    (cell.algorithm, cell.n),
+                    (dense[*cell_index].algorithm, dense[*cell_index].n)
+                );
+                assert_eq!(cell.acc.count as usize, trials.len());
+                merged[*cell_index].count += cell.acc.count;
+                merged[*cell_index].slots += cell.acc.slots;
+            }
+        }
+        assert_eq!(
+            merged,
+            dense.iter().map(|c| c.acc).collect::<Vec<_>>(),
+            "two disjoint sparse plans did not reassemble the dense fold"
+        );
+    }
+
+    /// Counts snapshots and checks the final one is complete and flagged.
+    #[derive(Default)]
+    struct RecordingMonitor {
+        snaps: Mutex<Vec<(usize, usize, bool)>>,
+    }
+
+    impl SweepMonitor<CwSum> for RecordingMonitor {
+        fn snapshot(&self, snap: SweepSnapshot<CwSum>) {
+            let folded: u32 = snap.cells.iter().map(|c| c.acc.count).sum();
+            assert!(
+                folded as usize <= snap.completed_trials,
+                "snapshot saw more folded trials than the counter reported"
+            );
+            self.snaps
+                .lock()
+                .push((snap.completed_trials, snap.total_trials, snap.finished));
+        }
+    }
+
+    #[test]
+    fn monitored_run_takes_a_final_snapshot_and_leaves_results_unchanged() {
+        let plain = toy_sweep(ExecPolicy::threads(2)).run_fold(|_, _, _| CwSum::default());
+        let monitor = RecordingMonitor::default();
+        let monitored = toy_sweep(ExecPolicy::threads(2)).run_fold_monitored(
+            |_, _, _| CwSum::default(),
+            None,
+            Some((SnapshotCadence::trials(1), &monitor)),
+        );
+        assert_eq!(plain, monitored, "attaching a monitor changed the fold");
+        let snaps = monitor.snaps.into_inner();
+        assert!(!snaps.is_empty());
+        let &(done, total, finished) = snaps.last().unwrap();
+        assert!(finished, "last snapshot must be flagged finished");
+        assert_eq!((done, total), (24, 24));
+        assert!(
+            snaps[..snaps.len() - 1].iter().all(|&(_, _, f)| !f),
+            "only the last snapshot may be flagged finished"
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   [`engine::Accumulator`] streaming-fold seam, and the
 //!   thread-count-independent [`engine::Sweep`] grid runner with its
 //!   [`engine::ExecPolicy`] (threads / batch / progress).
+//! * [`monitor`] — the live-observation seam: [`monitor::SnapshotCadence`],
+//!   [`monitor::SweepSnapshot`], and the [`monitor::SweepMonitor`] sink a
+//!   checkpoint writer attaches to an in-flight fold run.
 //! * [`progress`] — the rate-limited stderr progress meter long sweeps use.
 //! * [`summary`] — [`summary::TrialSummary`], the scalar per-trial record
 //!   every backend's output reduces to, and the [`summary::Metric`]
@@ -22,6 +25,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod monitor;
 pub mod parallel;
 pub mod progress;
 pub mod summary;
@@ -31,5 +35,6 @@ pub use engine::{
     MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
 };
 pub use event::{EventQueue, EventToken};
+pub use monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
 pub use parallel::{auto_batch, parallel_for_batches};
 pub use summary::{Metric, TrialSummary};

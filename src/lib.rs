@@ -51,6 +51,7 @@ pub mod prelude {
         cell, folded, run_trial, run_trial_with, Accumulator, Cell, CellRange, ExecPolicy,
         FoldedCell, MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
     };
+    pub use contention_sim::monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
     pub use contention_sim::summary::{Metric, TrialSummary};
     pub use contention_slotted::noisy::{NoisyConfig, NoisySim};
     pub use contention_slotted::residual::{ResidualConfig, ResidualSim};

@@ -1,0 +1,138 @@
+//! End-to-end pin for crash-safe runs: a `fig5` run interrupted mid-sweep
+//! and then `repro resume`d must write the exact bytes of the checked-in
+//! golden fixture — the same fixture the uninterrupted `repro fig5 --json`
+//! path (`tests/json_golden.rs`) and the 3-shard merge path
+//! (`tests/shard_cli_golden.rs`) are pinned to. All three pipelines are
+//! therefore pinned to *each other*.
+//!
+//! The "interruption" is deterministic: a `repro shard 0/2` run produces a
+//! partial `shard_state/v1` artifact — exactly the cells-and-trials shape a
+//! checkpoint of a half-finished run has — which the test installs as the
+//! newest checkpoint. `resume` must execute only the missing half and
+//! reassemble bit-identically (the per-trial RNG is position-addressed, so
+//! who runs a trial, and when, cannot matter).
+
+use contention_experiments::checkpoint::{
+    checkpoint_file_name, MetricsDoc, CHECKPOINT_DIR, LATEST_FILE, METRICS_FILE,
+};
+use contention_experiments::cli;
+use contention_experiments::shard::SHARD_SUFFIX;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The options the golden fixture was generated with (`tests/json_golden.rs`).
+const GOLDEN_FLAGS: [&str; 4] = ["--trials", "3", "--threads", "2"];
+
+fn strs(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ckpt-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden() -> String {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig5_cw_slots_abstract.json");
+    std::fs::read_to_string(&path).expect("golden fixture")
+}
+
+/// Installs `state_json` as checkpoint `seq` of `experiment` under
+/// `run_dir/checkpoints/`, with the `latest` pointer naming it.
+fn install_checkpoint(run_dir: &std::path::Path, experiment: &str, seq: u64, state_json: &str) {
+    let ckpt_dir = run_dir.join(CHECKPOINT_DIR);
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let name = checkpoint_file_name(experiment, seq);
+    std::fs::write(ckpt_dir.join(&name), state_json).unwrap();
+    std::fs::write(ckpt_dir.join(LATEST_FILE), format!("{name}\n")).unwrap();
+}
+
+#[test]
+fn interrupted_fig5_resumes_to_the_golden_json_byte_for_byte() {
+    let shards = temp_dir("half");
+    let run_dir = temp_dir("run");
+    std::fs::create_dir_all(&run_dir).unwrap();
+
+    // Half the grid, run for real: the state a mid-sweep checkpoint holds.
+    let mut args = vec!["shard", "fig5"];
+    args.extend(GOLDEN_FLAGS);
+    args.extend(["--shard", "0/2", "--out", shards.to_str().unwrap()]);
+    assert_eq!(cli::run(&strs(&args)), ExitCode::SUCCESS, "half-run failed");
+    let artifact = std::fs::read_dir(&shards)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.to_str().unwrap().ends_with(SHARD_SUFFIX))
+        .expect("shard artifact");
+    let half_state = std::fs::read_to_string(&artifact).unwrap();
+    install_checkpoint(&run_dir, "fig5", 0, &half_state);
+
+    // Resume runs only the missing half and writes the reports in place.
+    assert_eq!(
+        cli::run(&strs(&["resume", run_dir.to_str().unwrap(), "--json"])),
+        ExitCode::SUCCESS,
+        "resume failed"
+    );
+    let resumed = std::fs::read_to_string(run_dir.join("fig5_cw_slots_abstract.json"))
+        .expect("resume wrote the JSON report");
+    assert_eq!(
+        resumed,
+        golden(),
+        "interrupted-then-resumed fig5 JSON diverged from the golden fixture"
+    );
+
+    // The resume re-checkpointed with the loaded base folded in: the final
+    // metrics sidecar must account for the *whole* run, not just its half.
+    let doc = MetricsDoc::parse(&std::fs::read_to_string(run_dir.join(METRICS_FILE)).unwrap())
+        .expect("metrics sidecar parses");
+    assert!(doc.finished, "final snapshot must be flagged finished");
+    assert_eq!(doc.experiment, "fig5");
+    assert_eq!(doc.trials_done, doc.trials_total);
+    assert_eq!(doc.cells_done, doc.cells_total);
+
+    for dir in [shards, run_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_rejects_a_directory_with_only_torn_checkpoints() {
+    let run_dir = temp_dir("torn");
+    install_checkpoint(&run_dir, "fig5", 0, "{\"schema\": \"shard_st");
+    assert_eq!(
+        cli::run(&strs(&["resume", run_dir.to_str().unwrap()])),
+        ExitCode::FAILURE,
+        "a torn-only checkpoint dir must fail cleanly"
+    );
+    // No report can have been produced from garbage.
+    assert!(!run_dir.join("fig5_cw_slots_abstract.csv").exists());
+    let _ = std::fs::remove_dir_all(&run_dir);
+}
+
+#[test]
+fn checkpointed_run_matches_the_golden_and_leaves_a_complete_latest() {
+    let run_dir = temp_dir("full");
+    let mut args = vec!["fig5"];
+    args.extend(GOLDEN_FLAGS);
+    args.extend([
+        "--checkpoint-trials",
+        "1",
+        "--json",
+        "--out",
+        run_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(cli::run(&strs(&args)), ExitCode::SUCCESS);
+    let direct = std::fs::read_to_string(run_dir.join("fig5_cw_slots_abstract.json")).unwrap();
+    assert_eq!(direct, golden(), "checkpointing perturbed the results");
+
+    // `latest` names a checkpoint on disk holding the complete final state.
+    let ckpt_dir = run_dir.join(CHECKPOINT_DIR);
+    let pointer = std::fs::read_to_string(ckpt_dir.join(LATEST_FILE)).unwrap();
+    let state = contention_experiments::shard::ShardState::parse(
+        &std::fs::read_to_string(ckpt_dir.join(pointer.trim())).unwrap(),
+    )
+    .expect("latest checkpoint parses");
+    assert!(state.is_complete(), "final checkpoint must be complete");
+    let _ = std::fs::remove_dir_all(&run_dir);
+}

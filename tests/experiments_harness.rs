@@ -44,7 +44,7 @@ fn csv_artifacts_are_written() {
             .expect("registered");
         let report = runner(&opts);
         assert!(!report.csv.is_empty(), "{name} should emit CSV");
-        report.write_csv(&dir);
+        report.write_csv(&dir).expect("write CSVs");
         for block in &report.csv {
             let file = match block {
                 CsvBlock::Series { name, .. } => dir.join(format!("{name}.csv")),
