@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         } else {
             DynamicConfig::abstract_model(alg, arrivals)
         };
-        let mut xs: Vec<f64> = (0..5).map(|t| run_once(config, t).mean_latency).collect();
+        let mut xs: Vec<f64> = (0..5).map(|t| run_once(config, t).mean_latency()).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs[2]
     };

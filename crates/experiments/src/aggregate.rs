@@ -260,6 +260,7 @@ mod tests {
             max_ack_timeouts: 0.0,
             max_ack_timeout_time_us: 0.0,
             median_estimate: 0.0,
+            ..TrialSummary::default()
         }
     }
 

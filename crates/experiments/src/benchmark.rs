@@ -28,6 +28,7 @@ use contention_mac::medium::{ActiveTx, Medium, TxKind, TxSource};
 use contention_mac::{MacConfig, MacSim};
 use contention_sim::engine::{run_trial_with, Simulator};
 use contention_sim::event::EventQueue;
+use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
 use contention_slotted::noisy::NoisyConfig;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::{NoisySim, WindowedSim};
@@ -51,6 +52,8 @@ pub const BASELINE: &[(&str, f64)] = &[
     ("noisy_soften_sampled", BASELINE_NOISY_SOFTEN),
     ("event_queue_churn", BASELINE_QUEUE),
     ("medium_busy_periods", BASELINE_MEDIUM),
+    ("dynamic_saturation", BASELINE_DYN_SATURATION),
+    ("dynamic_bursty_drain", BASELINE_DYN_DRAIN),
 ];
 const BASELINE_MAC_FIG5: f64 = 1_320_000.0;
 const BASELINE_MAC_FIG13: f64 = 55_900.0;
@@ -64,6 +67,17 @@ const BASELINE_WINDOWED_SCALE: f64 = 39_800_000.0;
 const BASELINE_NOISY_SOFTEN: f64 = 9_220_000.0;
 const BASELINE_QUEUE: f64 = 1_128_000.0;
 const BASELINE_MEDIUM: f64 = 88_900.0;
+// The dynamic-engine workloads were measured at the PR 7 tree (commit
+// f5656c0), immediately before the streaming overhaul: global `BinaryHeap`
+// timer queue, fully materialised arrival schedule, per-packet `Schedule`
+// state and a sorted-`Vec` latency collector.
+// The drain workload runs *unit* costs on purpose: with 802.11g costs the
+// overhaul also fixed the old engine's arrival handling (arrivals used to
+// be postponed by busy periods), so mac-cost trials are not
+// work-equivalent across the two engines and cannot pin a speedup. Unit
+// costs never enter a busy period, where both engines do identical work.
+const BASELINE_DYN_SATURATION: f64 = 147_263_517.0;
+const BASELINE_DYN_DRAIN: f64 = 2_105_455.0;
 
 /// One benchmark workload. `make` builds the iteration closure fresh per
 /// measurement; the closure owns its scratch arena (exactly like one engine
@@ -208,6 +222,63 @@ fn workloads() -> Vec<Workload> {
                         &mut scratch,
                     )
                     .collisions
+                })
+            },
+        },
+        Workload {
+            name: "dynamic_saturation",
+            desc: "dynamic near-saturation trial (BEB, unit costs, rate 0.9) — the \
+                   saturation sweep's hottest cell shape",
+            iters: 10,
+            // Streaming-overhaul acceptance: lazy arrivals + calendar queue
+            // + histogram latencies must keep this ≥3× over the PR 7 engine.
+            target_speedup: 3.0,
+            make: || {
+                let mut scratch = <DynamicSim as Simulator>::Scratch::default();
+                let config = DynamicConfig {
+                    horizon_slots: 20_000,
+                    drain_slots: 20_000,
+                    ..DynamicConfig::abstract_model(
+                        AlgorithmKind::Beb,
+                        ArrivalProcess::PoissonSingles { rate: 0.9 },
+                    )
+                };
+                Box::new(move |i| {
+                    let m = run_trial_with::<DynamicSim>(
+                        "bench-dyn-sat",
+                        &config,
+                        0,
+                        (i % 8) as u32,
+                        &mut scratch,
+                    );
+                    m.completed.wrapping_add(m.collisions)
+                })
+            },
+        },
+        Workload {
+            name: "dynamic_bursty_drain",
+            desc: "dynamic bursty drain trial (BEB, unit costs, bursts of 60) — the \
+                   dynamic-traffic figure's arrival shape",
+            iters: 20,
+            target_speedup: 3.0,
+            make: || {
+                let mut scratch = <DynamicSim as Simulator>::Scratch::default();
+                let config = DynamicConfig::abstract_model(
+                    AlgorithmKind::Beb,
+                    ArrivalProcess::PoissonBursts {
+                        rate: 0.000_8,
+                        size: 60,
+                    },
+                );
+                Box::new(move |i| {
+                    let m = run_trial_with::<DynamicSim>(
+                        "bench-dyn-drain",
+                        &config,
+                        0,
+                        (i % 8) as u32,
+                        &mut scratch,
+                    );
+                    m.completed.wrapping_add(m.collisions)
                 })
             },
         },
@@ -558,6 +629,8 @@ mod tests {
             "\"mac_fig13_trace\"",
             "\"windowed_scale_n1e5\"",
             "\"noisy_soften_sampled\"",
+            "\"dynamic_saturation\"",
+            "\"dynamic_bursty_drain\"",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }

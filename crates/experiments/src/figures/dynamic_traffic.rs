@@ -9,52 +9,54 @@
 //! * with **802.11g costs** (success ≈ 13 slots, collision ≈ 17 slots for a
 //!   64 B payload), where the paper's collision-cost argument predicts BEB
 //!   regains the lead.
+//!
+//! The two cost models are the sweep's `n` axis ([`DynAxis::CostPreset`]:
+//! `n = 0` unit, `n = 1` MAC), so the whole figure is one engine grid —
+//! shardable, checkpointable, and resumable like the batch figures.
 
-use crate::figures::shared::paper_algorithms;
+use crate::aggregate::StatsCell;
+use crate::figures::shared::{fold_grid, paper_algorithms, SweepHooks};
 use crate::figures::Report;
 use crate::options::Options;
-use crate::sweep::Sweep;
+use crate::shard::GridMeta;
+use crate::summary::Metric;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
-use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
-use contention_stats::summary::median;
+use contention_slotted::dynamic::{ArrivalProcess, DynAxis, DynamicConfig, DynamicSim};
 
-/// Medians of (mean latency, completion rate) over one dynamic-traffic cell
-/// run through the engine. Dynamic runs have no batch size, so the sweep's
-/// `n` axis is the conventional `0` (see the `Simulator` impl on
-/// [`DynamicSim`]); raw [`contention_slotted::dynamic::DynamicMetrics`] are
-/// consumed directly via [`Sweep::run_raw`].
-fn median_latency(
-    experiment: &'static str,
-    config: DynamicConfig,
-    trials: u32,
-    exec: crate::sweep::ExecPolicy,
-) -> (f64, f64) {
-    let cells = Sweep::<DynamicSim> {
-        experiment,
-        config,
-        algorithms: vec![config.algorithm],
-        ns: vec![0],
-        trials,
-        exec,
-    }
-    .run_raw();
-    let mean: Vec<f64> = cells[0].trials.iter().map(|m| m.mean_latency).collect();
-    let completion: Vec<f64> = cells[0]
-        .trials
-        .iter()
-        .map(|m| m.completion_rate())
-        .collect();
-    (median(&mean), median(&completion))
-}
+const METRICS: [Metric; 2] = [Metric::MeanLatencySlots, Metric::CompletionRate];
 
-pub fn run(opts: &Options) -> Report {
-    let trials = opts.trials_or(5, 15);
-    let arrivals = ArrivalProcess::PoissonBursts {
+fn arrivals(opts: &Options) -> ArrivalProcess {
+    ArrivalProcess::PoissonBursts {
         rate: if opts.full { 0.000_5 } else { 0.000_8 },
         size: 60,
-    };
+    }
+}
+
+fn config(opts: &Options) -> DynamicConfig {
+    DynamicConfig {
+        axis: DynAxis::CostPreset { payload_bytes: 64 },
+        ..DynamicConfig::abstract_model(AlgorithmKind::Beb, arrivals(opts))
+    }
+}
+
+pub fn grid(opts: &Options) -> GridMeta {
+    GridMeta {
+        algorithms: paper_algorithms(),
+        ns: vec![0, 1],
+        trials: opts.trials_or(5, 15),
+        metrics: METRICS.to_vec(),
+    }
+}
+
+pub fn cells(opts: &Options, hooks: &SweepHooks) -> Vec<StatsCell> {
+    fold_grid::<DynamicSim>("dynamic", config(opts), &grid(opts), opts, hooks)
+}
+
+pub fn report(opts: &Options, cells: &[StatsCell]) -> Report {
+    let trials = opts.trials_or(5, 15);
+    let arrivals = arrivals(opts);
     let mut report =
         Report::new("§VIII extension — long-lived bursty traffic (Poisson bursts of 60 packets)");
     report.line(format!(
@@ -62,14 +64,23 @@ pub fn run(opts: &Options) -> Report {
         arrivals.offered_load()
     ));
 
+    let at = |alg: AlgorithmKind, n: u32, metric: Metric| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.n == n)
+            .expect("grid cell present")
+            .acc
+            .raw_median(metric)
+    };
+
     let mut rows = Vec::new();
     let mut beb = [0.0f64; 2];
     let mut winners: [Option<(String, f64)>; 2] = [None, None];
     for alg in paper_algorithms() {
-        let unit = DynamicConfig::abstract_model(alg, arrivals);
-        let mac = DynamicConfig::mac_costs(alg, arrivals, 64);
-        let (lat_unit, done_unit) = median_latency("dyn-unit", unit, trials, opts.exec());
-        let (lat_mac, done_mac) = median_latency("dyn-mac", mac, trials, opts.exec());
+        let lat_unit = at(alg, 0, Metric::MeanLatencySlots);
+        let done_unit = at(alg, 0, Metric::CompletionRate);
+        let lat_mac = at(alg, 1, Metric::MeanLatencySlots);
+        let done_mac = at(alg, 1, Metric::CompletionRate);
         if alg == AlgorithmKind::Beb {
             beb = [lat_unit, lat_mac];
         }
@@ -136,6 +147,10 @@ pub fn run(opts: &Options) -> Report {
         .collect(),
     );
     report
+}
+
+pub fn run(opts: &Options) -> Report {
+    report(opts, &cells(opts, &SweepHooks::none()))
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ pub mod model_check;
 pub mod noisy;
 pub mod payload_regression;
 pub mod rts_cts;
+pub mod saturation;
 pub mod scale;
 pub mod sharding;
 pub mod shared;
@@ -278,6 +279,11 @@ pub fn registry() -> Vec<Entry> {
             "dynamic",
             "§VIII extension — long-lived bursty traffic",
             dynamic_traffic::run,
+        ),
+        (
+            "saturation",
+            "saturation phase diagram — offered-load sweep on 802.11g costs",
+            saturation::run,
         ),
         (
             "soften",

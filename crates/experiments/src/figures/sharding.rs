@@ -15,7 +15,9 @@
 
 use crate::aggregate::StatsCell;
 use crate::figures::shared::SweepHooks;
-use crate::figures::{abstract_cw, ack_timeouts, cw_slots, scale, total_time, Report};
+use crate::figures::{
+    abstract_cw, ack_timeouts, cw_slots, dynamic_traffic, saturation, scale, total_time, Report,
+};
 use crate::options::Options;
 use crate::shard::GridMeta;
 
@@ -113,6 +115,18 @@ pub fn shardable_registry() -> Vec<ShardableEntry> {
             grid: scale::grid,
             cells: scale::cells,
             report: scale::report,
+        },
+        ShardableEntry {
+            name: "dynamic",
+            grid: dynamic_traffic::grid,
+            cells: dynamic_traffic::cells,
+            report: dynamic_traffic::report,
+        },
+        ShardableEntry {
+            name: "saturation",
+            grid: saturation::grid,
+            cells: saturation::cells,
+            report: saturation::report,
         },
     ]
 }

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Everything a figure might plot, extracted from one trial.
 ///
 /// Times are in microseconds (the unit of every figure axis in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialSummary {
     pub n: u32,
     pub successes: u32,
@@ -28,6 +28,22 @@ pub struct TrialSummary {
     pub max_ack_timeout_time_us: f64,
     /// Median BEST-OF-k estimate across stations (0 when not estimating).
     pub median_estimate: f64,
+    // --- dynamic-traffic fields (0 for the single-batch simulators). The
+    // dynamic engine's `n` axis is not a station count: depending on
+    // `DynAxis` it selects a cost model or an offered-load level.
+    /// Packets offered (arrived) within the horizon.
+    pub offered: f64,
+    /// Completed / offered (1.0 when every packet drained).
+    pub completion_rate: f64,
+    /// Wall-clock length of the trial in slots (≥ horizon).
+    pub wall_slots: f64,
+    pub mean_latency_slots: f64,
+    pub p50_latency_slots: f64,
+    pub p95_latency_slots: f64,
+    pub p99_latency_slots: f64,
+    pub max_latency_slots: f64,
+    /// Completed packets per wall slot.
+    pub throughput_pkts_per_slot: f64,
 }
 
 impl TrialSummary {
@@ -45,7 +61,7 @@ impl TrialSummary {
             ack_timeouts: m.total_ack_timeouts() as f64,
             max_ack_timeouts: m.max_ack_timeouts() as f64,
             max_ack_timeout_time_us: m.max_ack_timeout_time().as_micros_f64(),
-            median_estimate: 0.0,
+            ..TrialSummary::default()
         }
     }
 
@@ -80,12 +96,22 @@ pub enum Metric {
     MaxAckTimeouts,
     MaxAckTimeoutTimeUs,
     MedianEstimate,
+    // Dynamic-traffic metrics (streaming arrivals; latencies in slots).
+    Offered,
+    CompletionRate,
+    WallSlots,
+    MeanLatencySlots,
+    P50LatencySlots,
+    P95LatencySlots,
+    P99LatencySlots,
+    MaxLatencySlots,
+    Throughput,
 }
 
 impl Metric {
     /// Every metric, in [`TrialSummary`] field order — for consumers that
     /// need the full per-trial record through the streaming path.
-    pub const ALL: [Metric; 11] = [
+    pub const ALL: [Metric; 20] = [
         Metric::Successes,
         Metric::CwSlots,
         Metric::HalfCwSlots,
@@ -97,6 +123,15 @@ impl Metric {
         Metric::MaxAckTimeouts,
         Metric::MaxAckTimeoutTimeUs,
         Metric::MedianEstimate,
+        Metric::Offered,
+        Metric::CompletionRate,
+        Metric::WallSlots,
+        Metric::MeanLatencySlots,
+        Metric::P50LatencySlots,
+        Metric::P95LatencySlots,
+        Metric::P99LatencySlots,
+        Metric::MaxLatencySlots,
+        Metric::Throughput,
     ];
 
     pub fn extract(self, t: &TrialSummary) -> f64 {
@@ -112,6 +147,15 @@ impl Metric {
             Metric::MaxAckTimeouts => t.max_ack_timeouts,
             Metric::MaxAckTimeoutTimeUs => t.max_ack_timeout_time_us,
             Metric::MedianEstimate => t.median_estimate,
+            Metric::Offered => t.offered,
+            Metric::CompletionRate => t.completion_rate,
+            Metric::WallSlots => t.wall_slots,
+            Metric::MeanLatencySlots => t.mean_latency_slots,
+            Metric::P50LatencySlots => t.p50_latency_slots,
+            Metric::P95LatencySlots => t.p95_latency_slots,
+            Metric::P99LatencySlots => t.p99_latency_slots,
+            Metric::MaxLatencySlots => t.max_latency_slots,
+            Metric::Throughput => t.throughput_pkts_per_slot,
         }
     }
 
@@ -131,6 +175,15 @@ impl Metric {
             Metric::MaxAckTimeouts => "max_ack_timeouts",
             Metric::MaxAckTimeoutTimeUs => "max_ack_timeout_time_us",
             Metric::MedianEstimate => "median_estimate",
+            Metric::Offered => "offered",
+            Metric::CompletionRate => "completion_rate",
+            Metric::WallSlots => "wall_slots",
+            Metric::MeanLatencySlots => "mean_latency_slots",
+            Metric::P50LatencySlots => "p50_latency_slots",
+            Metric::P95LatencySlots => "p95_latency_slots",
+            Metric::P99LatencySlots => "p99_latency_slots",
+            Metric::MaxLatencySlots => "max_latency_slots",
+            Metric::Throughput => "throughput_pkts_per_slot",
         }
     }
 
@@ -153,6 +206,15 @@ impl Metric {
             Metric::MaxAckTimeouts => "max ACK timeouts",
             Metric::MaxAckTimeoutTimeUs => "max ACK-timeout time (µs)",
             Metric::MedianEstimate => "estimate of n",
+            Metric::Offered => "offered packets",
+            Metric::CompletionRate => "completion rate",
+            Metric::WallSlots => "wall slots",
+            Metric::MeanLatencySlots => "mean latency (slots)",
+            Metric::P50LatencySlots => "p50 latency (slots)",
+            Metric::P95LatencySlots => "p95 latency (slots)",
+            Metric::P99LatencySlots => "p99 latency (slots)",
+            Metric::MaxLatencySlots => "max latency (slots)",
+            Metric::Throughput => "throughput (pkts/slot)",
         }
     }
 }
@@ -200,7 +262,16 @@ mod tests {
                 | Metric::AckTimeouts
                 | Metric::MaxAckTimeouts
                 | Metric::MaxAckTimeoutTimeUs
-                | Metric::MedianEstimate => {}
+                | Metric::MedianEstimate
+                | Metric::Offered
+                | Metric::CompletionRate
+                | Metric::WallSlots
+                | Metric::MeanLatencySlots
+                | Metric::P50LatencySlots
+                | Metric::P95LatencySlots
+                | Metric::P99LatencySlots
+                | Metric::MaxLatencySlots
+                | Metric::Throughput => {}
             }
         }
         for m in Metric::ALL {

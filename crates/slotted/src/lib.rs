@@ -36,7 +36,9 @@ pub mod noisy;
 pub mod residual;
 pub mod windowed;
 
-pub use dynamic::{ArrivalProcess, DynamicConfig, DynamicMetrics, DynamicSim};
+pub use dynamic::{
+    ArrivalProcess, DynAxis, DynamicConfig, DynamicMetrics, DynamicScratch, DynamicSim,
+};
 pub use noisy::{NoisyConfig, NoisySim};
 pub use residual::ResidualSim;
 pub use windowed::WindowedSim;

@@ -12,12 +12,17 @@
 //!   slope (Figure 14's "p-value less than 0.001").
 //! * [`special`] — ln Γ, the regularized incomplete beta function, and the
 //!   Student-t CDF backing the p-values.
+//! * [`histogram`] — a fixed-footprint log-bucketed latency histogram
+//!   ([`histogram::LatencyHistogram`]) for streaming percentile queries
+//!   over millions of samples (exact mean/max, nearest-rank percentiles,
+//!   bucket-wise merge).
 //! * [`stream`] — order-independent streaming collectors
 //!   ([`stream::StreamingSample`], [`stream::Extrema`]) that feed the
 //!   pipeline above from the sweep engine's fold seam without retaining
 //!   full per-trial records.
 
 pub mod ci;
+pub mod histogram;
 pub mod outliers;
 pub mod regression;
 pub mod special;
@@ -25,6 +30,7 @@ pub mod stream;
 pub mod summary;
 
 pub use ci::{bootstrap_median_ci, median_ci95};
+pub use histogram::LatencyHistogram;
 pub use outliers::filter_outliers;
 pub use regression::{linear_fit, LinearFit};
 pub use stream::{Extrema, StreamingSample};

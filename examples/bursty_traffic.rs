@@ -35,7 +35,7 @@ fn main() {
             let mut sim = DynamicSim::new(config);
             let mut rng = trial_rng(experiment_tag("bursty-example"), kind, 0, 0);
             let m = sim.run(&mut rng);
-            row.push_str(&format!("{:>16.0} {:>12}", m.mean_latency, m.collisions));
+            row.push_str(&format!("{:>16.0} {:>12}", m.mean_latency(), m.collisions));
         }
         println!("{row}");
     }

@@ -11,11 +11,22 @@ use contention_experiments::aggregate::{MetricStats, StatsCell};
 use contention_experiments::shard::{merge_states, GridMeta, ShardState};
 use contention_experiments::summary::Metric;
 use contention_resolution::prelude::*;
+use contention_slotted::dynamic::{ArrivalProcess, DynAxis, DynamicConfig, DynamicSim};
 use contention_slotted::noisy::NoisyConfig;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
 const BATCHES: [usize; 2] = [1, 16];
-const METRICS: [Metric; 3] = [Metric::CwSlots, Metric::TotalTimeUs, Metric::Collisions];
+
+/// Metrics for the batch backends (windowed / noisy / MAC).
+const BATCH_METRICS: [Metric; 3] = [Metric::CwSlots, Metric::TotalTimeUs, Metric::Collisions];
+
+/// Metrics for the dynamic-traffic backend, which reports latency and
+/// throughput instead of window counts.
+const DYNAMIC_METRICS: [Metric; 3] = [
+    Metric::Throughput,
+    Metric::P95LatencySlots,
+    Metric::Collisions,
+];
 
 fn exec(batch: usize) -> ExecPolicy {
     ExecPolicy::threads(2).with_batch(batch)
@@ -41,8 +52,10 @@ fn bits(cells: &[StatsCell]) -> Vec<(String, u32, Vec<Vec<u64>>)> {
 
 /// Runs the full matrix for one backend: golden single-process fold vs
 /// shuffled shard/serialize/parse/merge, across shard counts and batches.
-fn assert_shard_equivalence<S: Simulator>(sweep_for: impl Fn(ExecPolicy) -> Sweep<S>)
-where
+fn assert_shard_equivalence<S: Simulator>(
+    metrics: &[Metric],
+    sweep_for: impl Fn(ExecPolicy) -> Sweep<S>,
+) where
     contention_experiments::summary::TrialSummary: From<S::Output>,
 {
     let golden_sweep = sweep_for(exec(16));
@@ -50,9 +63,9 @@ where
         algorithms: golden_sweep.algorithms.clone(),
         ns: golden_sweep.ns.clone(),
         trials: golden_sweep.trials,
-        metrics: METRICS.to_vec(),
+        metrics: metrics.to_vec(),
     };
-    let golden = golden_sweep.run_fold(MetricStats::collector(&METRICS));
+    let golden = golden_sweep.run_fold(MetricStats::collector(metrics));
     let golden_bits = bits(&golden);
     let cells = grid.cell_count();
 
@@ -63,7 +76,7 @@ where
                 .map(|index| {
                     let range = CellRange::shard(cells, index, of);
                     let part = sweep_for(exec(batch).with_cells(range))
-                        .run_fold(MetricStats::collector(&METRICS));
+                        .run_fold(MetricStats::collector(metrics));
                     assert_eq!(part.len(), range.len(), "{}: shard size", S::NAME);
                     ShardState::from_cells(
                         "shard-eq",
@@ -98,7 +111,7 @@ where
 /// The abstract windowed simulator.
 #[test]
 fn windowed_shards_merge_bit_identically() {
-    assert_shard_equivalence(|exec| Sweep::<WindowedSim> {
+    assert_shard_equivalence(&BATCH_METRICS, |exec| Sweep::<WindowedSim> {
         experiment: "shard-eq-windowed",
         config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
@@ -111,7 +124,7 @@ fn windowed_shards_merge_bit_identically() {
 /// The noisy-channel (softened collisions) simulator.
 #[test]
 fn noisy_shards_merge_bit_identically() {
-    assert_shard_equivalence(|exec| Sweep::<NoisySim> {
+    assert_shard_equivalence(&BATCH_METRICS, |exec| Sweep::<NoisySim> {
         experiment: "shard-eq-noisy",
         config: NoisyConfig::abstract_model(AlgorithmKind::Beb, ChannelModel::softened(0.3)),
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::LogBackoff],
@@ -124,11 +137,36 @@ fn noisy_shards_merge_bit_identically() {
 /// The event-driven 802.11g MAC simulator.
 #[test]
 fn mac_shards_merge_bit_identically() {
-    assert_shard_equivalence(|exec| Sweep::<MacSim> {
+    assert_shard_equivalence(&BATCH_METRICS, |exec| Sweep::<MacSim> {
         experiment: "shard-eq-mac",
         config: MacConfig::paper(AlgorithmKind::Beb, 64),
         algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
         ns: vec![6, 14, 22],
+        trials: 4,
+        exec,
+    });
+}
+
+/// The streaming dynamic-traffic simulator, on the load-per-mille axis the
+/// saturation experiment sweeps — histogram-derived percentile metrics must
+/// survive the serialize/merge seam bit-for-bit too.
+#[test]
+fn dynamic_shards_merge_bit_identically() {
+    let config = DynamicConfig {
+        axis: DynAxis::LoadPerMille,
+        horizon_slots: 4_000,
+        drain_slots: 8_000,
+        ..DynamicConfig::mac_costs(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 0.001 },
+            64,
+        )
+    };
+    assert_shard_equivalence(&DYNAMIC_METRICS, |exec| Sweep::<DynamicSim> {
+        experiment: "shard-eq-dynamic",
+        config,
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![200, 600, 1000],
         trials: 4,
         exec,
     });

@@ -128,6 +128,51 @@ fn pathological_window_scratch_is_shed_after_the_trial() {
     );
 }
 
+/// Ten million streaming arrivals in one dynamic trial, bounded memory.
+///
+/// The streaming arrival generator draws inter-arrival gaps lazily, so the
+/// engine's footprint is set by the *backlog* (packets in flight) plus the
+/// fixed-size calendar ring and latency histogram — never by
+/// `horizon × rate`. The pre-overhaul engine materialised the entire
+/// arrival schedule up front: at this horizon that alone would be
+/// ≥ 10⁷ × 16 B = 160 MB. A 4 MB peak bound keeps that regression
+/// impossible while leaving ~100× headroom over the steady-state backlog.
+#[test]
+fn ten_million_arrivals_stream_in_bounded_memory() {
+    use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
+
+    // 5 % offered load on unit costs: comfortably stable for BEB, so the
+    // backlog stays O(1) while E[offered] = 0.05 × 2×10⁸ = 10⁷ packets.
+    let config = DynamicConfig {
+        horizon_slots: 200_000_000,
+        drain_slots: 1_000_000,
+        ..DynamicConfig::abstract_model(
+            AlgorithmKind::Beb,
+            ArrivalProcess::PoissonSingles { rate: 0.05 },
+        )
+    };
+    let mut scratch = <DynamicSim as Simulator>::Scratch::default();
+
+    let before = CURRENT.load(Ordering::SeqCst);
+    PEAK.store(before, Ordering::SeqCst);
+    let m = run_trial_with::<DynamicSim>("streaming-10m", &config, 0, 0, &mut scratch);
+    let peak_growth = PEAK.load(Ordering::SeqCst).saturating_sub(before);
+
+    // Poisson sd at this mean is ≈ 3.2×10³, so 9.9×10⁶ is a > 30σ floor.
+    assert!(
+        m.offered >= 9_900_000,
+        "expected ≈10⁷ arrivals, got {}",
+        m.offered
+    );
+    assert_eq!(m.completed, m.offered, "stable load must fully drain");
+    assert!(
+        peak_growth < 4_000_000,
+        "peak heap growth {peak_growth} B for {} arrivals — the arrival \
+         stream is being materialised instead of streamed",
+        m.offered
+    );
+}
+
 /// O(1)-state accumulator over total time (drops the summary, no alloc).
 struct TimeExtrema(Extrema);
 

@@ -155,8 +155,9 @@ fn noisy_sweep_is_schedule_invariant() {
     });
 }
 
-/// The dynamic-traffic simulator has no `TrialSummary` conversion; check
-/// its raw output across the schedule matrix instead.
+/// The dynamic-traffic simulator, checked on its raw output across the
+/// schedule matrix. (Its `TrialSummary` fold path is covered separately by
+/// the shard-equivalence matrix.)
 #[test]
 fn dynamic_sweep_is_schedule_invariant() {
     let sweep_for = |exec: ExecPolicy| Sweep::<DynamicSim> {
