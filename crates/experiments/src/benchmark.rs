@@ -18,15 +18,17 @@
 //! runs it on every push to keep the harness and the JSON schema from
 //! rotting, without pretending CI wall time is a measurement.
 
+use crate::aggregate::MetricStats;
 use crate::figures::Report;
 use crate::jsonout::{escape, num};
 use crate::options::Options;
+use crate::summary::Metric;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::channel::ChannelModel;
 use contention_core::time::Nanos;
 use contention_mac::medium::{ActiveTx, Medium, TxKind, TxSource};
 use contention_mac::{MacConfig, MacSim};
-use contention_sim::engine::{run_trial_with, Simulator};
+use contention_sim::engine::{run_trial_with, ExecPolicy, Simulator, Sweep};
 use contention_sim::event::EventQueue;
 use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
 use contention_slotted::noisy::NoisyConfig;
@@ -54,6 +56,7 @@ pub const BASELINE: &[(&str, f64)] = &[
     ("medium_busy_periods", BASELINE_MEDIUM),
     ("dynamic_saturation", BASELINE_DYN_SATURATION),
     ("dynamic_bursty_drain", BASELINE_DYN_DRAIN),
+    ("sched_tail_scale8", BASELINE_SCHED_TAIL),
 ];
 const BASELINE_MAC_FIG5: f64 = 1_320_000.0;
 const BASELINE_MAC_FIG13: f64 = 55_900.0;
@@ -78,6 +81,13 @@ const BASELINE_MEDIUM: f64 = 88_900.0;
 // costs never enter a busy period, where both engines do identical work.
 const BASELINE_DYN_SATURATION: f64 = 147_263_517.0;
 const BASELINE_DYN_DRAIN: f64 = 2_105_455.0;
+// The scheduler-tail workload was measured at the PR 8 tree (commit
+// f1575ac), immediately before the cost-aware runtime: fixed `auto_batch`
+// claims from the atomic cursor, grid-order claiming, no worker-count cap,
+// and a fresh `thread::scope` (8 spawns + joins) for every one of the
+// workload's twenty-four sub-sweeps. The grid and trial set are identical
+// on both sides — only the runtime around them changed.
+const BASELINE_SCHED_TAIL: f64 = 12_419_817.0;
 
 /// One benchmark workload. `make` builds the iteration closure fresh per
 /// measurement; the closure owns its scratch arena (exactly like one engine
@@ -283,6 +293,17 @@ fn workloads() -> Vec<Workload> {
             },
         },
         Workload {
+            name: "sched_tail_scale8",
+            desc: "twenty-four short 8-thread sub-sweeps over a heterogeneous windowed grid — \
+                   scheduling overhead, pool reuse and tail idle",
+            iters: 4,
+            // Cost-aware-runtime acceptance: tapered claiming + the
+            // persistent worker pool must keep this ≥1.3× over the fixed
+            // auto-batch scheduler that respawned threads per sub-sweep.
+            target_speedup: 1.3,
+            make: || Box::new(|_| sched_tail_pass()),
+        },
+        Workload {
             name: "event_queue_churn",
             desc: "event queue schedule/cancel/pop churn, 4k live events",
             iters: 64,
@@ -297,6 +318,54 @@ fn workloads() -> Vec<Workload> {
             make: || Box::new(|i| medium_churn(2048, i)),
         },
     ]
+}
+
+/// One pass of the scheduler-tail workload: many short 8-thread sub-sweeps
+/// over a heterogeneous (scale-shaped) `n` ladder, the shape a figure run
+/// presents to the runtime — per-trial cost spanning an order of magnitude
+/// across the grid, and a fresh sweep (worker spin-up + join) every
+/// fraction of a millisecond. What this times is the *runtime*, not the
+/// simulator: claim scheduling, thread startup, and the idle tail behind
+/// the heaviest cells. The grid is deliberately light so the runtime's
+/// fixed per-sub-sweep costs are the signal, not the noise.
+fn sched_tail_pass() -> u64 {
+    const SUB_SWEEPS: usize = 24;
+    let ns: Vec<u32> = vec![25, 50, 100, 200, 400];
+    let algorithms = vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth];
+    // The cost table the production fold path (fold_grid) would attach for
+    // a windowed grid, driving tapered claims and heaviest-first order.
+    let costs: Vec<f64> = algorithms
+        .iter()
+        .flat_map(|_| {
+            ns.iter()
+                .map(|&n| contention_sim::sched::CostSpec::NLogN.cost(n))
+        })
+        .collect();
+    let mut checksum = 0u64;
+    for _ in 0..SUB_SWEEPS {
+        let cells = Sweep::<WindowedSim> {
+            experiment: "bench-sched-tail",
+            config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+            algorithms: algorithms.clone(),
+            ns: ns.clone(),
+            trials: 2,
+            exec: ExecPolicy::threads(8),
+        }
+        .run_fold_monitored(
+            MetricStats::collector(&[Metric::CwSlots]),
+            None,
+            None,
+            Some(&costs),
+        );
+        for cell in &cells {
+            for sample in cell.acc.raw_samples() {
+                for v in sample.raw() {
+                    checksum = checksum.wrapping_add(v.to_bits());
+                }
+            }
+        }
+    }
+    checksum
 }
 
 /// Schedule `live` events, then repeatedly pop one + schedule one + cancel
@@ -631,6 +700,7 @@ mod tests {
             "\"noisy_soften_sampled\"",
             "\"dynamic_saturation\"",
             "\"dynamic_bursty_drain\"",
+            "\"sched_tail_scale8\"",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }
@@ -647,6 +717,21 @@ mod tests {
             warmed(5);
             assert_eq!(cold(3), warmed(3), "{}", w.name);
         }
+    }
+
+    /// Manual measurement helper (not a test of anything): prints the
+    /// full-mode estimate for the scheduler-tail workload so baselines can
+    /// be recorded from the exact harness that will enforce them.
+    #[test]
+    #[ignore = "manual baseline measurement helper"]
+    fn measure_sched_tail() {
+        let all = workloads();
+        let w = all
+            .iter()
+            .find(|w| w.name == "sched_tail_scale8")
+            .expect("workload exists");
+        let r = measure(w, 7, w.iters);
+        eprintln!("sched_tail_scale8: {} ns/iter", r.ns_per_iter);
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! `(0, 1)` and holes (`null`) for trials the snapshot's ragged cut missed —
 //! into `<out>/checkpoints/`, atomically (`*.tmp` + fsync + rename), under a
 //! monotonically increasing sequence number, with a `latest` pointer file
-//! naming the newest one. A `metrics.json` sidecar (`sweep_metrics/v1`)
+//! naming the newest one. A `metrics.json` sidecar (`sweep_metrics/v2`)
 //! lands in `<out>` on the same cadence: the machine-readable counterpart to
-//! the TTY progress meter.
+//! the TTY progress meter. Since v2 the sidecar reports `work_done` /
+//! `work_total` in the grid's [`CostSpec`](contention_sim::sched::CostSpec)
+//! units and derives `eta_secs` from the *work* rate, so the ETA no longer
+//! lies when the remaining cells are much heavier (or lighter) than the
+//! finished ones.
 //!
 //! `repro resume <out>` loads the newest valid checkpoint (pointer first,
 //! newest-valid scan as fallback — a torn pointer or artifact is skipped,
@@ -28,12 +32,13 @@ use crate::jsonin::Json;
 use crate::jsonout::{escape, num};
 use crate::shard::{GridMeta, ShardState, SHARD_SUFFIX};
 use contention_sim::monitor::{SweepMonitor, SweepSnapshot};
+use contention_sim::sched::CostModel;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Schema tag of the `metrics.json` sidecar.
-pub const METRICS_SCHEMA: &str = "sweep_metrics/v1";
+pub const METRICS_SCHEMA: &str = "sweep_metrics/v2";
 
 /// Subdirectory of the run's `--out` dir that holds checkpoints.
 pub const CHECKPOINT_DIR: &str = "checkpoints";
@@ -76,6 +81,10 @@ pub struct CheckpointWriter {
     /// Trials the base already holds (counted per cell as the minimum across
     /// metric buffers, matching `ShardState::missing`).
     base_trials: usize,
+    /// Cost-weighted work the base already holds — subtracted from the
+    /// snapshot's work before computing the work *rate*, since the base's
+    /// trials did not run in this process's elapsed time.
+    base_work: f64,
     /// Next sequence number to write (continues past existing checkpoints).
     seq: AtomicU64,
     warned: AtomicBool,
@@ -111,6 +120,7 @@ impl CheckpointWriter {
             grid,
             base: Vec::new(),
             base_trials: 0,
+            base_work: 0.0,
             seq: AtomicU64::new(next_seq),
             warned: AtomicBool::new(false),
         })
@@ -123,12 +133,32 @@ impl CheckpointWriter {
         assert_eq!(base.grid, self.grid, "base state must match the run grid");
         self.base_trials = recorded_trials(&base);
         self.base = base.into_cells();
+        self.base_work = self.work_of(&self.base);
         self
     }
 
     /// The sequence number the next checkpoint will carry.
     pub fn next_seq(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Cost-weighted work the given cells hold, in the grid's cost units: a
+    /// trial counts once every metric buffer records it (the
+    /// [`recorded_trials`] rule), weighted by its cell's per-trial cost.
+    fn work_of(&self, cells: &[StatsCell]) -> f64 {
+        cells
+            .iter()
+            .map(|c| {
+                let done = c
+                    .acc
+                    .raw_samples()
+                    .iter()
+                    .map(|s| s.raw().iter().filter(|v| !v.is_nan()).count())
+                    .min()
+                    .unwrap_or(0);
+                done as f64 * self.grid.cost.trial_cost(c.algorithm, c.n)
+            })
+            .sum()
     }
 
     fn write_snapshot(&self, snap: &SweepSnapshot<MetricStats>) -> Result<(), String> {
@@ -151,18 +181,30 @@ impl CheckpointWriter {
         } else {
             f64::NAN
         };
+        // ETA from the cost-weighted work rate of *this run's* trials (the
+        // base was recorded in an earlier process; its work contributes no
+        // rate information): remaining heavy cells weigh in as heavy.
+        let work_done = self.work_of(&cells);
+        let work_total: f64 = self.grid.cell_costs().iter().sum();
+        let work_rate = if elapsed_secs > 0.0 {
+            (work_done - self.base_work).max(0.0) / elapsed_secs
+        } else {
+            f64::NAN
+        };
         let doc = MetricsDoc {
             experiment: self.experiment.clone(),
             cells_done: cells.iter().filter(|c| c.acc.is_complete()).count(),
             cells_total: self.grid.cell_count(),
             trials_done,
             trials_total,
+            work_done,
+            work_total,
             elapsed_secs,
             trials_per_sec: rate,
             trials_per_sec_per_worker: rate / snap.workers.max(1) as f64,
             workers: snap.workers,
-            eta_secs: if rate > 0.0 {
-                trials_total.saturating_sub(trials_done) as f64 / rate
+            eta_secs: if work_rate > 0.0 {
+                (work_total - work_done).max(0.0) / work_rate
             } else {
                 f64::NAN
             },
@@ -359,10 +401,12 @@ fn load_checkpoint(path: &Path) -> Result<(ShardState, PathBuf), String> {
     Ok((state, path.to_path_buf()))
 }
 
-/// The `metrics.json` document (`sweep_metrics/v1`): a point-in-time view
+/// The `metrics.json` document (`sweep_metrics/v2`): a point-in-time view
 /// of a checkpointed run for dashboards and the future work-server.
 /// Unknown-yet quantities (`trials_per_sec` before any trial lands,
-/// `eta_secs`) are NaN in memory and `null` on disk.
+/// `eta_secs`) are NaN in memory and `null` on disk. v2 added `work_done` /
+/// `work_total` (cost-weighted progress in the grid's cost-model units) and
+/// made `eta_secs` work-rate-based.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsDoc {
     pub experiment: String,
@@ -370,6 +414,8 @@ pub struct MetricsDoc {
     pub cells_total: usize,
     pub trials_done: usize,
     pub trials_total: usize,
+    pub work_done: f64,
+    pub work_total: f64,
     pub elapsed_secs: f64,
     pub trials_per_sec: f64,
     pub trials_per_sec_per_worker: f64,
@@ -393,6 +439,8 @@ impl MetricsDoc {
         out.push_str(&format!("  \"cells_total\": {},\n", self.cells_total));
         out.push_str(&format!("  \"trials_done\": {},\n", self.trials_done));
         out.push_str(&format!("  \"trials_total\": {},\n", self.trials_total));
+        out.push_str(&format!("  \"work_done\": {},\n", num(self.work_done)));
+        out.push_str(&format!("  \"work_total\": {},\n", num(self.work_total)));
         out.push_str(&format!(
             "  \"elapsed_secs\": {},\n",
             num(self.elapsed_secs)
@@ -429,6 +477,8 @@ impl MetricsDoc {
             cells_total: count("cells_total")?,
             trials_done: count("trials_done")?,
             trials_total: count("trials_total")?,
+            work_done: v.field("work_done")?.as_f64()?,
+            work_total: v.field("work_total")?.as_f64()?,
             elapsed_secs: v.field("elapsed_secs")?.as_f64()?,
             trials_per_sec: v.field("trials_per_sec")?.as_f64()?,
             trials_per_sec_per_worker: v.field("trials_per_sec_per_worker")?.as_f64()?,
@@ -461,6 +511,9 @@ mod tests {
             ns: vec![10, 20],
             trials: 2,
             metrics: vec![Metric::CwSlots],
+            // Linear so the work-weighted metrics are distinguishable from
+            // plain trial counts: n=20 trials weigh twice n=10 trials.
+            cost: contention_sim::sched::CostSpec::LinearN,
         }
     }
 
@@ -494,6 +547,8 @@ mod tests {
             cells_total: 8,
             trials_done: 7,
             trials_total: 16,
+            work_done: 120.5,
+            work_total: 480.0,
             elapsed_secs: 1.25,
             trials_per_sec: 5.6,
             trials_per_sec_per_worker: 2.8,
@@ -599,6 +654,13 @@ mod tests {
         assert_eq!(doc.checkpoint_seq, 4);
         assert_eq!((doc.cells_done, doc.cells_total), (1, 2));
         assert_eq!((doc.trials_done, doc.trials_total), (6, 4));
+        // Work is cost-weighted: both recorded n=10 trials (cost 10 each)
+        // plus one of two n=20 trials (cost 20) out of a 60-unit grid.
+        assert_eq!((doc.work_done, doc.work_total), (40.0, 60.0));
+        // The remaining trial is an n=20 heavyweight: the work-based ETA
+        // must price it at 20 units, not at the 13.3-unit mean trial.
+        let work_rate = doc.work_done / doc.elapsed_secs;
+        assert!((doc.eta_secs - 20.0 / work_rate).abs() < 1e-9, "{doc:?}");
         // A new writer in the same dir continues the sequence.
         let writer2 = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
         assert_eq!(writer2.next_seq(), 5);
@@ -634,6 +696,7 @@ mod tests {
         assert_eq!(cells[1].acc.sample(Metric::CwSlots), &[3.0, 9.0]);
         let doc = MetricsDoc::parse(&fs::read_to_string(dir.join(METRICS_FILE)).unwrap()).unwrap();
         assert_eq!((doc.trials_done, doc.trials_total), (4, 4));
+        assert_eq!((doc.work_done, doc.work_total), (60.0, 60.0));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -302,7 +302,11 @@ fn run_shard(opts: &Options) -> ExitCode {
     let (index, of) = opts.shard.expect("validated at parse time");
     let grid = (entry.grid)(opts);
     let total = grid.cell_count();
-    let range = CellRange::shard(total, index as usize, of as usize);
+    // Cost-balanced: shard boundaries split the grid's *estimated work*
+    // (cell cost × trials), so no shard is stuck with all the heavy cells.
+    // Merge accepts any contiguous tiling, so mixed-version shard runs
+    // still reassemble — as long as every index ran under the same binary.
+    let range = CellRange::shard_weighted(&grid.cell_costs(), index as usize, of as usize);
     let started = std::time::Instant::now();
     let cells = (entry.cells)(opts, &SweepHooks::range(Some(range)));
     let state = ShardState::from_cells(entry.name, opts.full, (index, of), &grid, &cells);
@@ -408,10 +412,10 @@ fn print_usage() {
     println!("  --out DIR   also write CSV series to DIR");
     println!("  --json      also write JSON artifacts to DIR (needs --out)");
     println!("  --threads N worker threads (default: all cores)");
-    println!("  --batch N   trials claimed per scheduling step (default: auto; results");
-    println!("              are bit-identical for every batch size and thread count)");
-    println!("  --shard i/N run only cell shard i of N (shard subcommand; merged output");
-    println!("              is byte-identical to the single-process run)");
+    println!("  --batch N   pin fixed N-trial claims instead of the default cost-tapered");
+    println!("              scheduling (results are bit-identical either way)");
+    println!("  --shard i/N run only cell shard i of N, split by estimated work (shard");
+    println!("              subcommand; merged output is byte-identical to one process)");
     println!("  --checkpoint           snapshot in-flight state into DIR/checkpoints/ and");
     println!("                         refresh DIR/metrics.json (default: every 30 s)");
     println!("  --checkpoint-secs N    snapshot every N seconds (implies --checkpoint)");

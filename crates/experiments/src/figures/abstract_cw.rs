@@ -13,6 +13,7 @@ use crate::summary::Metric;
 use crate::sweep::folded;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
+use contention_sim::sched::CostSpec;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
@@ -22,6 +23,7 @@ pub fn fig5_grid(opts: &Options) -> GridMeta {
         ns: opts.mac_ns(),
         trials: opts.trials_or(12, 50),
         metrics: vec![Metric::CwSlots],
+        cost: CostSpec::NLogN,
     }
 }
 
@@ -70,6 +72,7 @@ pub fn large_n_grid(opts: &Options) -> GridMeta {
         ns,
         trials: opts.trials_or(8, 24),
         metrics: vec![Metric::CwSlots, Metric::Collisions],
+        cost: CostSpec::NLogN,
     }
 }
 

@@ -23,6 +23,7 @@ use crate::summary::Metric;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
+use contention_sim::sched::CostSpec;
 use contention_slotted::dynamic::{ArrivalProcess, DynAxis, DynamicConfig, DynamicSim};
 
 const METRICS: [Metric; 2] = [Metric::MeanLatencySlots, Metric::CompletionRate];
@@ -47,6 +48,9 @@ pub fn grid(opts: &Options) -> GridMeta {
         ns: vec![0, 1],
         trials: opts.trials_or(5, 15),
         metrics: METRICS.to_vec(),
+        // The axis is a two-point cost-preset selector, not a size: both
+        // cells simulate the same horizon.
+        cost: CostSpec::Uniform,
     }
 }
 

@@ -25,6 +25,7 @@ use crate::shard::GridMeta;
 use crate::summary::Metric;
 use crate::table::render;
 use contention_core::algorithm::AlgorithmKind;
+use contention_sim::sched::CostSpec;
 use contention_slotted::dynamic::{ArrivalProcess, DynAxis, DynamicConfig, DynamicSim};
 
 const METRICS: [Metric; 5] = [
@@ -75,6 +76,9 @@ pub fn grid(opts: &Options) -> GridMeta {
         ns: loads(opts),
         trials: opts.trials_or(3, 10),
         metrics: METRICS.to_vec(),
+        // The load axis is per-mille of capacity: arrivals (and so work per
+        // trial) grow linearly along it.
+        cost: CostSpec::LinearN,
     }
 }
 

@@ -22,6 +22,7 @@ use crate::summary::Metric;
 use crate::table::render_series;
 use contention_core::algorithm::AlgorithmKind;
 use contention_core::util::percent_change;
+use contention_sim::sched::CostSpec;
 use contention_slotted::windowed::WindowedConfig;
 use contention_slotted::WindowedSim;
 
@@ -40,6 +41,10 @@ pub fn grid(opts: &Options) -> GridMeta {
         ns,
         trials: opts.trials_or(5, 25),
         metrics: METRICS.to_vec(),
+        // Windowed backoff runs Θ(log n) windows of Θ(n) slots; the 80×
+        // spread across this grid's n axis is exactly what cost-balanced
+        // sharding exists for.
+        cost: CostSpec::NLogN,
     }
 }
 

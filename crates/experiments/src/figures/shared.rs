@@ -19,6 +19,7 @@ use contention_core::algorithm::AlgorithmKind;
 use contention_mac::{MacConfig, MacSim};
 use contention_sim::engine::CellRange;
 use contention_sim::monitor::{SnapshotCadence, SweepMonitor};
+use contention_sim::sched::CostSpec;
 
 /// The paper's four head-to-head algorithms.
 pub fn paper_algorithms() -> Vec<AlgorithmKind> {
@@ -73,6 +74,9 @@ where
 {
     let mut exec = opts.exec();
     exec.cells = hooks.range;
+    // The grid's cost table rides along so the engine can taper claims and
+    // start heavy cells first; it cannot affect any result bit.
+    let costs = grid.cell_trial_costs();
     Sweep::<S> {
         experiment,
         config,
@@ -85,6 +89,7 @@ where
         MetricStats::collector(&grid.metrics),
         hooks.missing,
         hooks.monitor,
+        Some(&costs),
     )
 }
 
@@ -95,6 +100,8 @@ pub fn mac_grid(opts: &Options, metrics: &[Metric]) -> GridMeta {
         ns: opts.mac_ns(),
         trials: opts.trials_or(8, 30),
         metrics: metrics.to_vec(),
+        // A MAC trial simulates Θ(log n) backoff windows of Θ(n) slots.
+        cost: CostSpec::NLogN,
     }
 }
 

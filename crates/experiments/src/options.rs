@@ -48,7 +48,9 @@ pub struct Options {
     pub out_dir: Option<PathBuf>,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
-    /// Trials per work-item claim (`None` = auto).
+    /// `--batch N`: pin fixed `N`-trial claims in grid order, overriding the
+    /// default tapered (cost-aware, heaviest-first) scheduling. Purely a
+    /// performance knob — results are bit-identical either way.
     pub batch: Option<usize>,
     /// Also write JSON series next to the CSVs (requires `--out`, except for
     /// `bench`, where `--json` alone writes `./BENCH_mac.json`).

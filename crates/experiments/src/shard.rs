@@ -41,6 +41,7 @@ use crate::jsonin::Json;
 use crate::jsonout::{escape, num};
 use crate::summary::Metric;
 use contention_core::algorithm::AlgorithmKind;
+use contention_sim::sched::{CostModel, CostSpec};
 use contention_stats::stream::StreamingSample;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -64,12 +65,40 @@ pub struct GridMeta {
     pub trials: u32,
     /// Metrics each cell folds out, in buffer order.
     pub metrics: Vec<Metric>,
+    /// The analytic per-trial cost shape of this grid's backend — what the
+    /// scheduler tapers claims by and `repro shard` balances shards with.
+    /// Serialized into artifacts so resumed/merged runs plan work with the
+    /// same estimates; artifacts written before cost metadata existed read
+    /// back as [`CostSpec::Uniform`].
+    pub cost: CostSpec,
 }
 
 impl GridMeta {
     /// Number of `(algorithm, n)` cells in the grid.
     pub fn cell_count(&self) -> usize {
         self.algorithms.len() * self.ns.len()
+    }
+
+    /// Estimated per-*trial* cost of every cell, in grid order (algorithms
+    /// outer, ns inner) — the table the engine's tapered scheduler consumes.
+    pub fn cell_trial_costs(&self) -> Vec<f64> {
+        self.algorithms
+            .iter()
+            .flat_map(|&alg| self.ns.iter().map(move |&n| self.cost.trial_cost(alg, n)))
+            .collect()
+    }
+
+    /// Estimated *total* cost of every cell (`trials ×` per-trial), in grid
+    /// order — what cost-balanced shard partitioning splits.
+    pub fn cell_costs(&self) -> Vec<f64> {
+        self.algorithms
+            .iter()
+            .flat_map(|&alg| {
+                self.ns
+                    .iter()
+                    .map(move |&n| self.cost.cell_cost(alg, n, self.trials))
+            })
+            .collect()
     }
 }
 
@@ -217,6 +246,10 @@ impl ShardState {
         out.push_str(&format!("  \"full\": {},\n", self.full));
         out.push_str(&format!("  \"trials\": {},\n", self.grid.trials));
         out.push_str(&format!(
+            "  \"cost\": \"{}\",\n",
+            escape(self.grid.cost.key())
+        ));
+        out.push_str(&format!(
             "  \"shard\": [{}, {}],\n",
             self.shard.0, self.shard.1
         ));
@@ -270,6 +303,15 @@ impl ShardState {
         let experiment = doc.field("experiment")?.as_str()?.to_string();
         let full = doc.field("full")?.as_bool()?;
         let trials = doc.field("trials")?.as_u32()?;
+        // Tolerant: artifacts written before cost metadata existed carry no
+        // "cost" key and deserialize to the uniform estimate.
+        let cost = match doc.field("cost") {
+            Err(_) => CostSpec::Uniform,
+            Ok(field) => {
+                let key = field.as_str()?;
+                CostSpec::from_key(key).ok_or_else(|| format!("unknown cost spec {key:?}"))?
+            }
+        };
         let shard_field = doc.field("shard")?.as_array()?;
         if shard_field.len() != 2 {
             return Err("shard must be [index, of]".to_string());
@@ -310,6 +352,7 @@ impl ShardState {
             ns,
             trials,
             metrics,
+            cost,
         };
         let mut cells = Vec::new();
         for cell in doc.field("cells")?.as_array()? {
@@ -508,6 +551,7 @@ mod tests {
             ns: vec![10, 20],
             trials: 3,
             metrics: vec![Metric::CwSlots, Metric::Collisions],
+            cost: CostSpec::NLogN,
         }
     }
 
@@ -666,6 +710,7 @@ mod tests {
         for (needle, replacement, expect) in [
             ("shard_state/v1", "shard_state/v0", "unsupported schema"),
             ("\"cw_slots\"", "\"warp_factor\"", "unknown metric"),
+            ("\"n-log-n\"", "\"o-of-wow\"", "unknown cost spec"),
             ("\"beb\", \"stb\"", "\"beb\", \"zzz\"", "unknown algorithm"),
             (
                 "\"shard\": [0, 1]",
@@ -686,6 +731,35 @@ mod tests {
             .contains("outside the grid"));
         // Truncated document.
         assert!(ShardState::parse(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn artifacts_without_cost_metadata_read_back_as_uniform() {
+        // A pre-cost artifact: strip the "cost" line entirely.
+        let text = state((0, 1), &[(Beb, 10)]).to_json();
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.contains("\"cost\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(legacy, text);
+        let parsed = ShardState::parse(&legacy).unwrap();
+        assert_eq!(parsed.grid.cost, CostSpec::Uniform);
+    }
+
+    #[test]
+    fn grid_cost_tables_follow_grid_order_and_trials() {
+        let g = grid();
+        let per_trial = g.cell_trial_costs();
+        let per_cell = g.cell_costs();
+        assert_eq!(per_trial.len(), g.cell_count());
+        // Grid order is algorithms outer, ns inner: [B10, B20, S10, S20].
+        assert_eq!(per_trial[0], CostSpec::NLogN.cost(10));
+        assert_eq!(per_trial[1], CostSpec::NLogN.cost(20));
+        assert_eq!(per_trial[0], per_trial[2], "cost is algorithm-blind");
+        for (cell, trial) in per_cell.iter().zip(&per_trial) {
+            assert_eq!(*cell, trial * f64::from(g.trials));
+        }
     }
 
     #[test]

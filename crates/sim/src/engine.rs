@@ -31,7 +31,7 @@
 //! models (e.g. the noisy/corrupted-slot model of arXiv:2408.11275) slot in.
 
 use crate::monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
-use crate::parallel::{auto_batch, parallel_for_batches};
+use crate::parallel::{parallel_for_batches, parallel_for_tapered, TaperSchedule};
 use crate::progress::Progress;
 use crate::summary::TrialSummary;
 use contention_core::algorithm::AlgorithmKind;
@@ -183,6 +183,52 @@ impl CellRange {
         }
     }
 
+    /// The contiguous range shard `index` of `of` covers in a grid whose
+    /// cells carry the given estimated `weights` — the cost-balanced
+    /// partition: shard boundaries land where the weight prefix crosses
+    /// `i/of` of the total, so every shard gets (as nearly as contiguity
+    /// allows) the same estimated *work*, not the same cell count. The `of`
+    /// ranges tile `[0, weights.len())` exactly, like [`shard`]; with
+    /// uniform weights the two partitions coincide. Non-finite,
+    /// non-positive or all-zero weights degrade safely (junk entries count
+    /// as zero; a zero total falls back to the count-balanced partition).
+    pub fn shard_weighted(weights: &[f64], index: usize, of: usize) -> CellRange {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        let cells = weights.len();
+        let mut prefix = Vec::with_capacity(cells + 1);
+        let mut acc = 0.0f64;
+        prefix.push(0.0);
+        for &w in weights {
+            if w.is_finite() && w > 0.0 {
+                acc += w;
+            }
+            prefix.push(acc);
+        }
+        let total = prefix[cells];
+        if total <= 0.0 {
+            return CellRange::shard(cells, index, of);
+        }
+        // Boundary i sits at the first prefix ≥ total·i/of; boundaries are
+        // monotone because the goals are, and the final one is pinned to
+        // `cells` so trailing zero-weight cells (and float slop) always
+        // land in the last shard.
+        let bound = |i: usize| -> usize {
+            if i == of {
+                return cells;
+            }
+            let goal = total * i as f64 / of as f64;
+            prefix.partition_point(|&p| p < goal).min(cells)
+        };
+        CellRange {
+            lo: bound(index),
+            hi: bound(index + 1),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.hi - self.lo
     }
@@ -199,9 +245,17 @@ impl CellRange {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecPolicy {
     /// Worker threads (`None` = all available, `Some(0|1)` = sequential).
+    /// The engine caps the effective count at the machine's available
+    /// parallelism — oversubscribed workers cost context switches without
+    /// buying wall-clock, and results never depend on the worker count.
     pub threads: Option<usize>,
-    /// Trials claimed per scheduling step (`None` = auto: ~32 claims per
-    /// worker, capped at 1024). Purely a performance knob.
+    /// Trials claimed per scheduling step. `None` (the default) uses
+    /// tapered (guided self-scheduling) claims — sized off remaining
+    /// estimated work, shrinking toward one trial at the tail — with
+    /// heaviest cells claimed first when the run carries a cost table.
+    /// `Some(b)` pins fixed `b`-trial batches in grid order. Purely a
+    /// performance knob either way: results are bit-identical for every
+    /// setting.
     pub batch: Option<usize>,
     /// Run only the grid cells in `[lo, hi)` (`None` = the whole grid) —
     /// the process-sharding seam: each shard folds its cell range, and the
@@ -327,7 +381,7 @@ impl<S: Simulator> Sweep<S> {
         M: Fn(S::Output) -> T + Sync,
         I: FnMut(AlgorithmKind, u32, u32) -> A,
     {
-        self.run_streamed_core(map, init, None, None)
+        self.run_streamed_core(map, init, None, None, None)
     }
 
     /// [`run_streamed`](Self::run_streamed), generalized along the two
@@ -342,12 +396,19 @@ impl<S: Simulator> Sweep<S> {
     ///   accumulators (each under its own cell lock — workers keep claiming
     ///   batches) and hands them to the sink; one final snapshot is
     ///   guaranteed after the workers join.
+    /// * `costs` — estimated per-*trial* cost of every cell of the **full**
+    ///   grid (`algorithms × ns`, same order). Feeds scheduling only: claim
+    ///   tapering and heaviest-cell-first ordering. Results are routed by
+    ///   grid position and trial RNG streams derive from grid coordinates,
+    ///   so any cost table — including a wrong one — leaves every output
+    ///   bit unchanged.
     fn run_streamed_core<T, A, M, I>(
         &self,
         map: M,
         mut init: I,
         missing: Option<&[(usize, Vec<u32>)]>,
         monitor: Option<MonitorHook<'_, A>>,
+        costs: Option<&[f64]>,
     ) -> Vec<FoldedCell<A>>
     where
         A: Accumulator<T> + Send,
@@ -362,12 +423,30 @@ impl<S: Simulator> Sweep<S> {
             .iter()
             .flat_map(|&alg| self.ns.iter().map(move |&n| (alg, n)))
             .collect();
-        // Resolve the work plan: which cells exist, and how a claimed work
-        // index maps onto (cell, trial).
+        if let Some(costs) = costs {
+            assert!(
+                costs.len() == full_grid.len(),
+                "cost table has {} entries for a {}-cell grid",
+                costs.len(),
+                full_grid.len()
+            );
+        }
+        // Junk estimates (NaN, ±∞, negatives) count as zero weight so the
+        // heaviest-first comparator below stays a total order.
+        let sane = |c: f64| if c.is_finite() && c > 0.0 { c } else { 0.0 };
+        // Resolve the work plan: which cells exist, how a claimed work index
+        // maps onto (cell, trial), and what each local cell's trials are
+        // estimated to cost.
         type SparseItems = Option<Vec<(usize, u32)>>;
-        let (grid, sparse): (Vec<(AlgorithmKind, u32)>, SparseItems) = match missing {
+        let (grid, mut sparse, cell_costs): (
+            Vec<(AlgorithmKind, u32)>,
+            SparseItems,
+            Option<Vec<f64>>,
+        ) = match missing {
             None => {
                 let mut grid = full_grid;
+                let mut cell_costs =
+                    costs.map(|c| c.iter().map(|&c| sane(c)).collect::<Vec<f64>>());
                 if let Some(range) = self.exec.cells {
                     assert!(
                         range.lo <= range.hi && range.hi <= grid.len(),
@@ -377,8 +456,9 @@ impl<S: Simulator> Sweep<S> {
                         grid.len()
                     );
                     grid = grid[range.lo..range.hi].to_vec();
+                    cell_costs = cell_costs.map(|c| c[range.lo..range.hi].to_vec());
                 }
-                (grid, None)
+                (grid, None, cell_costs)
             }
             Some(missing) => {
                 assert!(
@@ -402,8 +482,34 @@ impl<S: Simulator> Sweep<S> {
                         items.push((local, trial));
                     }
                 }
-                (grid, Some(items))
+                let cell_costs = costs.map(|c| {
+                    missing
+                        .iter()
+                        .map(|(cell_index, _)| sane(c[*cell_index]))
+                        .collect()
+                });
+                (grid, Some(items), cell_costs)
             }
+        };
+        // Execution order over local cells: identity under fixed batches
+        // (`exec.batch` pinned) or without estimates; heaviest cells first
+        // when tapering with a cost table, so the long-pole cells start
+        // while plenty of light work remains to backfill the tail. Results
+        // are index-routed, so the order is invisible in the output.
+        let taper = self.exec.batch.is_none();
+        let order: Vec<usize> = {
+            let mut order: Vec<usize> = (0..grid.len()).collect();
+            if taper {
+                if let Some(cost) = &cell_costs {
+                    let heaviest_first =
+                        |a: f64, b: f64| b.partial_cmp(&a).unwrap_or(std::cmp::Ordering::Equal);
+                    order.sort_by(|&a, &b| heaviest_first(cost[a], cost[b]));
+                    if let Some(items) = &mut sparse {
+                        items.sort_by(|a, b| heaviest_first(cost[a.0], cost[b.0]));
+                    }
+                }
+            }
+            order
         };
         let accumulators: Vec<Mutex<A>> = grid
             .iter()
@@ -414,38 +520,62 @@ impl<S: Simulator> Sweep<S> {
             Some(items) => items.len(),
         };
         if total > 0 {
-            let threads = self.exec.threads.unwrap_or_else(default_threads);
-            let batch = self
+            // Cap the worker count at the machine's parallelism: results are
+            // schedule-invariant, so workers beyond physical cores can only
+            // add wakeup and context-switch overhead, never wall-clock.
+            let threads = self
                 .exec
-                .batch
-                .unwrap_or_else(|| auto_batch(total, threads));
+                .threads
+                .unwrap_or_else(default_threads)
+                .min(default_threads());
+            // Tapered claims need a per-work-item cost prefix in *execution*
+            // order; without estimates every item weighs the same and the
+            // taper degenerates to pure remaining/workers sizing.
+            let schedule: Option<TaperSchedule> = taper.then(|| match (&sparse, &cell_costs) {
+                (None, Some(cost)) => {
+                    let mut item_costs = Vec::with_capacity(total);
+                    for &cell in &order {
+                        item_costs.extend(std::iter::repeat_n(cost[cell], trials));
+                    }
+                    TaperSchedule::new(&item_costs)
+                }
+                (Some(items), Some(cost)) => {
+                    let item_costs: Vec<f64> = items.iter().map(|&(cell, _)| cost[cell]).collect();
+                    TaperSchedule::new(&item_costs)
+                }
+                (_, None) => TaperSchedule::uniform(total),
+            });
             let progress = Progress::new(total, self.exec.progress);
             let base = self.config.clone();
-            // The dense work item for global index g is (cell g / trials,
+            // The dense work item for global index g is (order[g / trials],
             // trial g % trials) — computed, never stored; sparse plans look
             // the pair up. Each worker owns one scratch arena for its whole
             // share of the sweep.
-            let run_workers = || {
-                parallel_for_batches(
+            let work_item = |range: std::ops::Range<usize>, scratch: &mut S::Scratch| {
+                for g in range {
+                    let (cell_index, trial) = match &sparse {
+                        None => (order[g / trials], (g % trials) as u32),
+                        Some(items) => items[g],
+                    };
+                    let (alg, n) = grid[cell_index];
+                    let config = S::with_algorithm(&base, alg);
+                    let mut rng = trial_rng(tag, alg, n, trial);
+                    let value = map(S::run_with(&config, n, &mut rng, scratch));
+                    accumulators[cell_index].lock().record(trial, value);
+                    progress.tick();
+                }
+            };
+            let run_workers = || match &schedule {
+                Some(sched) => parallel_for_tapered(sched, threads, S::Scratch::default, work_item),
+                None => parallel_for_batches(
                     total,
                     threads,
-                    batch,
+                    self.exec
+                        .batch
+                        .expect("fixed-batch path requires exec.batch"),
                     S::Scratch::default,
-                    |range, scratch| {
-                        for g in range {
-                            let (cell_index, trial) = match &sparse {
-                                None => (g / trials, (g % trials) as u32),
-                                Some(items) => items[g],
-                            };
-                            let (alg, n) = grid[cell_index];
-                            let config = S::with_algorithm(&base, alg);
-                            let mut rng = trial_rng(tag, alg, n, trial);
-                            let value = map(S::run_with(&config, n, &mut rng, scratch));
-                            accumulators[cell_index].lock().record(trial, value);
-                            progress.tick();
-                        }
-                    },
-                );
+                    work_item,
+                ),
             };
             match &monitor {
                 None => run_workers(),
@@ -574,11 +704,17 @@ where
     ///   thread with clones of the in-flight accumulators, plus once more
     ///   (with `finished: true`) after the workers join. Snapshots are
     ///   read-only: results are unaffected by the monitor's presence.
+    /// * `costs` — estimated per-trial cost of every full-grid cell (same
+    ///   order as `algorithms × ns`), from the experiment's
+    ///   [`CostModel`](crate::sched::CostModel). Scheduling-only: drives
+    ///   claim tapering and heaviest-cell-first ordering; any table yields
+    ///   bit-identical results.
     pub fn run_fold_monitored<A, I>(
         &self,
         init: I,
         missing: Option<&[(usize, Vec<u32>)]>,
         monitor: Option<(SnapshotCadence, &dyn SweepMonitor<A>)>,
+        costs: Option<&[f64]>,
     ) -> Vec<FoldedCell<A>>
     where
         A: Accumulator<TrialSummary> + Clone + Send,
@@ -589,7 +725,7 @@ where
             sink,
             clone_acc: A::clone,
         });
-        self.run_streamed_core(TrialSummary::from, init, missing, hook)
+        self.run_streamed_core(TrialSummary::from, init, missing, hook, costs)
     }
 }
 
@@ -809,6 +945,7 @@ mod tests {
                 |_, _, _| CwSum::default(),
                 Some(plan),
                 None,
+                None,
             );
             assert_eq!(cells.len(), plan.len());
             for ((cell_index, trials), cell) in plan.iter().zip(&cells) {
@@ -826,6 +963,138 @@ mod tests {
             dense.iter().map(|c| c.acc).collect::<Vec<_>>(),
             "two disjoint sparse plans did not reassemble the dense fold"
         );
+    }
+
+    #[test]
+    fn cost_tables_reorder_claims_but_never_results() {
+        // Skewed estimates with junk entries mixed in: heaviest-first order
+        // and tapered claim sizes change, the fold must not — across thread
+        // counts, with and without the cost table.
+        let golden =
+            toy_sweep(ExecPolicy::threads(1).with_batch(1)).run_fold(|_, _, _| CwSum::default());
+        let costs = [f64::NAN, 0.0, 5.0, 1e9, 1.0, -2.0];
+        for threads in [1usize, 2, 8] {
+            let costed = toy_sweep(ExecPolicy::threads(threads)).run_fold_monitored(
+                |_, _, _| CwSum::default(),
+                None,
+                None,
+                Some(&costs),
+            );
+            assert_eq!(golden, costed, "threads={threads} with costs");
+            let uncosted = toy_sweep(ExecPolicy::threads(threads)).run_fold_monitored(
+                |_, _, _| CwSum::default(),
+                None,
+                None,
+                None,
+            );
+            assert_eq!(golden, uncosted, "threads={threads} without costs");
+        }
+    }
+
+    #[test]
+    fn cost_table_respects_cell_ranges_and_sparse_plans() {
+        let dense = toy_sweep(ExecPolicy::threads(1)).run_fold(|_, _, _| CwSum::default());
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        // A cell-range run slices the full-grid cost table along with the
+        // grid.
+        let mut exec = ExecPolicy::threads(2);
+        exec.cells = Some(CellRange { lo: 2, hi: 5 });
+        let ranged = toy_sweep(exec).run_fold_monitored(
+            |_, _, _| CwSum::default(),
+            None,
+            None,
+            Some(&costs),
+        );
+        assert_eq!(ranged.len(), 3);
+        for (got, want) in ranged.iter().zip(&dense[2..5]) {
+            assert_eq!(got, want, "cell range + costs changed a cell");
+        }
+        // A sparse plan draws each item's weight from its full-grid cell.
+        let plan: Vec<(usize, Vec<u32>)> = vec![(1, vec![0, 3]), (5, vec![2]), (0, vec![1])];
+        let sparse = toy_sweep(ExecPolicy::threads(2)).run_fold_monitored(
+            |_, _, _| CwSum::default(),
+            Some(&plan),
+            None,
+            Some(&costs),
+        );
+        let plain = toy_sweep(ExecPolicy::threads(2)).run_fold_monitored(
+            |_, _, _| CwSum::default(),
+            Some(&plan),
+            None,
+            None,
+        );
+        assert_eq!(sparse, plain, "costs changed a sparse plan's results");
+    }
+
+    #[test]
+    #[should_panic(expected = "cost table has 2 entries")]
+    fn wrong_cost_table_length_panics() {
+        let costs = [1.0, 2.0];
+        let _ = toy_sweep(ExecPolicy::threads(1)).run_fold_monitored(
+            |_, _, _| CwSum::default(),
+            None,
+            None,
+            Some(&costs),
+        );
+    }
+
+    #[test]
+    fn weighted_shards_tile_the_grid() {
+        let weights = [3.0, 0.5, f64::NAN, 8.0, 1.0, 0.0, 2.5, 4.0, -1.0, 6.0];
+        for of in [1usize, 2, 3, 4, 7, 10, 13] {
+            let mut next = 0;
+            for index in 0..of {
+                let shard = CellRange::shard_weighted(&weights, index, of);
+                assert_eq!(shard.lo, next, "shard {index}/{of} left a gap");
+                assert!(shard.hi >= shard.lo);
+                next = shard.hi;
+            }
+            assert_eq!(next, weights.len(), "shards {of} did not cover the grid");
+        }
+    }
+
+    #[test]
+    fn weighted_shards_balance_work_better_than_counts() {
+        // One heavy head cell: the count split hands shard 0 the head plus
+        // half the light cells; the weighted split cuts right after it.
+        let weights = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let cost = |r: CellRange| weights[r.lo..r.hi].iter().sum::<f64>();
+        let weighted_max = (0..2)
+            .map(|i| cost(CellRange::shard_weighted(&weights, i, 2)))
+            .fold(0.0f64, f64::max);
+        let count_max = (0..2)
+            .map(|i| cost(CellRange::shard(weights.len(), i, 2)))
+            .fold(0.0f64, f64::max);
+        assert!(
+            weighted_max < count_max,
+            "weighted split ({weighted_max}) should beat count split ({count_max})"
+        );
+        // Trailing zero-weight cells still land in the last shard.
+        let tail_zeros = [5.0, 5.0, 0.0, 0.0];
+        let last = CellRange::shard_weighted(&tail_zeros, 1, 2);
+        assert_eq!((last.lo, last.hi), (1, 4));
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_count_shards() {
+        for weights in [vec![0.0; 5], vec![f64::NAN; 5], vec![-3.0; 5], vec![]] {
+            for of in [1usize, 2, 3] {
+                for index in 0..of {
+                    assert_eq!(
+                        CellRange::shard_weighted(&weights, index, of),
+                        CellRange::shard(weights.len(), index, of),
+                        "weights {weights:?} shard {index}/{of}"
+                    );
+                }
+            }
+        }
+        // Uniform weights coincide with the count-balanced partition too.
+        for index in 0..3 {
+            assert_eq!(
+                CellRange::shard_weighted(&[2.0; 9], index, 3),
+                CellRange::shard(9, index, 3)
+            );
+        }
     }
 
     /// Counts snapshots and checks the final one is complete and flagged.
@@ -855,6 +1124,7 @@ mod tests {
             |_, _, _| CwSum::default(),
             None,
             Some((SnapshotCadence::trials(1), &monitor)),
+            None,
         );
         assert_eq!(plain, monitored, "attaching a monitor changed the fold");
         let snaps = monitor.snaps.into_inner();

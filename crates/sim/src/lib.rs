@@ -6,10 +6,17 @@
 //!   stable FIFO tie-breaking at equal timestamps, and token-based lazy
 //!   cancellation (needed for backoff timers that freeze when the medium
 //!   goes busy).
-//! * [`parallel`] — a deterministic batched parallel executor built on std
-//!   scoped threads; workers claim contiguous index ranges from one atomic
-//!   cursor and results are routed by index, so every number is independent
-//!   of thread scheduling and batch size.
+//! * [`parallel`] — a deterministic parallel executor; workers claim
+//!   contiguous index ranges from one atomic cursor — fixed batches or
+//!   cost-tapered (guided self-scheduling) claims via
+//!   [`parallel::TaperSchedule`] — and results are routed by index, so
+//!   every number is independent of thread scheduling and claim sizing.
+//! * [`pool`] — the persistent worker pool the executors borrow threads
+//!   from, eliminating per-sub-sweep spawn/join overhead across the many
+//!   sweeps of one figure run (with a scoped-thread fallback).
+//! * [`sched`] — cost-aware scheduling metadata: the [`sched::CostModel`]
+//!   trait, the analytic [`sched::CostSpec`] shapes experiment grids
+//!   declare, and the [`sched::CalibratedCost`] quick-probe calibrator.
 //! * [`engine`] — the generic sweep engine: the [`engine::Simulator`] trait
 //!   every backend implements, the canonical per-trial RNG derivation, the
 //!   [`engine::Accumulator`] streaming-fold seam, and the
@@ -27,7 +34,9 @@ pub mod engine;
 pub mod event;
 pub mod monitor;
 pub mod parallel;
+pub mod pool;
 pub mod progress;
+pub mod sched;
 pub mod summary;
 
 pub use engine::{
@@ -36,5 +45,6 @@ pub use engine::{
 };
 pub use event::{EventQueue, EventToken};
 pub use monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
-pub use parallel::{auto_batch, parallel_for_batches};
+pub use parallel::{auto_batch, parallel_for_batches, parallel_for_tapered, TaperSchedule};
+pub use sched::{CalibratedCost, CostModel, CostSpec};
 pub use summary::{Metric, TrialSummary};

@@ -52,6 +52,10 @@ pub mod prelude {
         FoldedCell, MergeableAccumulator, Simulator, Slots, Sweep, SweepCell,
     };
     pub use contention_sim::monitor::{SnapshotCadence, SweepMonitor, SweepSnapshot};
+    // The scheduling CostModel trait is NOT re-exported here: `CostModel`
+    // already names the collision-cost model above. Reach the trait via
+    // `contention_resolution::sim::sched::CostModel` when needed.
+    pub use contention_sim::sched::{CalibratedCost, CostSpec};
     pub use contention_sim::summary::{Metric, TrialSummary};
     pub use contention_slotted::noisy::{NoisyConfig, NoisySim};
     pub use contention_slotted::residual::{ResidualConfig, ResidualSim};

@@ -64,6 +64,7 @@ fn assert_shard_equivalence<S: Simulator>(
         ns: golden_sweep.ns.clone(),
         trials: golden_sweep.trials,
         metrics: metrics.to_vec(),
+        cost: CostSpec::NLogN,
     };
     let golden = golden_sweep.run_fold(MetricStats::collector(metrics));
     let golden_bits = bits(&golden);
@@ -172,6 +173,83 @@ fn dynamic_shards_merge_bit_identically() {
     });
 }
 
+/// Cost-balanced shards — cell ranges cut by `CellRange::shard_weighted`
+/// over the grid's estimated per-cell work — merge byte-identical to the
+/// count-balanced golden. The partition genuinely differs (the n·log n cost
+/// table is far from uniform over an 11×–80× n spread), yet the merge seam
+/// still reproduces the single-process fold bit-for-bit: balancing is pure
+/// scheduling, never arithmetic.
+#[test]
+fn cost_balanced_shards_merge_bit_identically() {
+    let metrics = [Metric::CwSlots, Metric::Collisions];
+    let sweep_for = |exec: ExecPolicy| Sweep::<WindowedSim> {
+        experiment: "shard-eq-weighted",
+        config: WindowedConfig::abstract_model(AlgorithmKind::Beb),
+        algorithms: vec![AlgorithmKind::Beb, AlgorithmKind::Sawtooth],
+        ns: vec![10, 40, 110, 800],
+        trials: 3,
+        exec,
+    };
+    let golden_sweep = sweep_for(ExecPolicy::threads(2));
+    let grid = GridMeta {
+        algorithms: golden_sweep.algorithms.clone(),
+        ns: golden_sweep.ns.clone(),
+        trials: golden_sweep.trials,
+        metrics: metrics.to_vec(),
+        cost: CostSpec::NLogN,
+    };
+    let golden = golden_sweep.run_fold(MetricStats::collector(&metrics));
+    let golden_bits = bits(&golden);
+    let weights = grid.cell_costs();
+    assert_eq!(weights.len(), grid.cell_count());
+
+    for of in SHARD_COUNTS {
+        // The weighted partition must differ from the count partition for at
+        // least one shard count, or this test proves nothing.
+        let weighted: Vec<CellRange> = (0..of)
+            .map(|i| CellRange::shard_weighted(&weights, i, of))
+            .collect();
+        let states: Vec<ShardState> = weighted
+            .iter()
+            .enumerate()
+            .map(|(index, &range)| {
+                let part = sweep_for(ExecPolicy::threads(2).with_cells(range))
+                    .run_fold(MetricStats::collector(&metrics));
+                let text = ShardState::from_cells(
+                    "shard-eq-weighted",
+                    false,
+                    (index as u32, of as u32),
+                    &grid,
+                    &part,
+                )
+                .to_json();
+                ShardState::parse(&text).expect("artifact parses")
+            })
+            .collect();
+        let merged = merge_states(states).expect("weighted shards are compatible");
+        assert!(merged.is_complete(), "incomplete weighted merge (of={of})");
+        assert_eq!(
+            bits(&merged.into_cells()),
+            golden_bits,
+            "cost-balanced shards diverged from the single-process fold (of={of})"
+        );
+    }
+    // Sanity: the n log n weights (the n=800 cells carry ~80% of the work)
+    // must actually move at least one shard boundary away from the
+    // count-balanced partition, or this test proves nothing.
+    let moved = SHARD_COUNTS.iter().any(|&of| {
+        (0..of).any(|i| {
+            let w = CellRange::shard_weighted(&weights, i, of);
+            let c = CellRange::shard(grid.cell_count(), i, of);
+            (w.lo, w.hi) != (c.lo, c.hi)
+        })
+    });
+    assert!(
+        moved,
+        "weighted partition coincides with count partition everywhere; test is vacuous"
+    );
+}
+
 /// Duplicate artifacts must be rejected, not double-counted — merging is a
 /// union of exactly-once deliveries, never idempotent summation.
 #[test]
@@ -189,6 +267,7 @@ fn duplicate_shard_artifacts_are_rejected() {
         ns: sweep.ns.clone(),
         trials: sweep.trials,
         metrics: vec![Metric::CwSlots],
+        cost: CostSpec::Uniform,
     };
     let shard = |index: usize| {
         let range = CellRange::shard(grid.cell_count(), index, 2);
@@ -229,6 +308,7 @@ fn empty_shards_are_harmless() {
         ns: vec![15, 35],
         trials: 2,
         metrics: vec![Metric::CwSlots],
+        cost: CostSpec::Uniform,
     };
     let golden =
         sweep_for(ExecPolicy::threads(1)).run_fold(MetricStats::collector(&[Metric::CwSlots]));

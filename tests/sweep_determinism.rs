@@ -1,7 +1,9 @@
 //! Cross-engine golden determinism: the generic `Sweep<S>` must yield
 //! byte-identical results regardless of the worker-thread count *and* the
-//! batch size, for every simulator backend — on both the collect path
-//! (`run`) and the streaming fold path (`run_fold`).
+//! claim schedule — the default cost-tapered, heaviest-first scheduler
+//! (`batch: None`) as well as every fixed batch size — for every simulator
+//! backend, on both the collect path (`run`) and the streaming fold path
+//! (`run_fold`).
 //!
 //! "Byte-identical" is checked literally: every `f64` is compared by its
 //! bit pattern, not by `==`, so even a sign-of-zero or NaN-payload drift
@@ -12,10 +14,16 @@ use contention_resolution::prelude::*;
 use contention_slotted::dynamic::{ArrivalProcess, DynamicConfig, DynamicSim};
 
 const THREADS: [usize; 3] = [1, 2, 8];
-const BATCHES: [usize; 3] = [1, 16, 1024];
+/// `None` is the tapered + heaviest-first scheduler; `Some(b)` pins fixed
+/// grid-order claims of `b` trials.
+const BATCHES: [Option<usize>; 4] = [None, Some(1), Some(16), Some(1024)];
 
-fn exec(threads: usize, batch: usize) -> ExecPolicy {
-    ExecPolicy::threads(threads).with_batch(batch)
+fn exec(threads: usize, batch: Option<usize>) -> ExecPolicy {
+    let exec = ExecPolicy::threads(threads);
+    match batch {
+        Some(b) => exec.with_batch(b),
+        None => exec,
+    }
 }
 
 /// The bit-exact image of a `TrialSummary`.
@@ -43,7 +51,7 @@ fn assert_engine_invariants<S: Simulator>(sweep_for: impl Fn(ExecPolicy) -> Swee
 where
     TrialSummary: From<S::Output>,
 {
-    let golden_cells = sweep_for(exec(1, 1)).run();
+    let golden_cells = sweep_for(exec(1, Some(1))).run();
     let golden: Vec<Vec<Vec<u64>>> = golden_cells
         .iter()
         .map(|c| c.trials.iter().map(bits).collect())
@@ -59,7 +67,7 @@ where
             assert_eq!(
                 golden,
                 got,
-                "{}: run() changed at threads={threads} batch={batch}",
+                "{}: run() changed at threads={threads} batch={batch:?}",
                 S::NAME
             );
 
@@ -84,7 +92,7 @@ where
                         expect,
                         got,
                         "{}: run_fold({metric:?}) diverged from run() at \
-                         threads={threads} batch={batch}, cell {}/{}",
+                         threads={threads} batch={batch:?}, cell {}/{}",
                         S::NAME,
                         cell.algorithm,
                         cell.n
@@ -174,7 +182,7 @@ fn dynamic_sweep_is_schedule_invariant() {
         trials: 4,
         exec,
     };
-    let golden = sweep_for(exec(1, 1)).run_raw();
+    let golden = sweep_for(exec(1, Some(1))).run_raw();
     for threads in THREADS {
         for batch in BATCHES {
             let got = sweep_for(exec(threads, batch)).run_raw();
@@ -182,7 +190,7 @@ fn dynamic_sweep_is_schedule_invariant() {
                 assert_eq!(g.algorithm, r.algorithm);
                 assert_eq!(
                     g.trials, r.trials,
-                    "dynamic results changed at threads={threads} batch={batch}"
+                    "dynamic results changed at threads={threads} batch={batch:?}"
                 );
             }
         }
