@@ -23,3 +23,40 @@ pub trait MergeableAccumulator: Sized {
     /// incompatibly shaped.
     fn merge(&mut self, other: Self);
 }
+
+/// Tally of a duplicate-tolerant merge: how many recorded slots were new to
+/// the receiver and how many it already held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Slots the operand contributed that the receiver did not yet hold.
+    pub fresh: usize,
+    /// Slots both sides held with bit-identical values, discarded.
+    pub duplicates: usize,
+}
+
+impl MergeStats {
+    /// Accumulates another tally into this one (e.g. across the metrics of
+    /// a multi-metric accumulator, or across the cells of an artifact).
+    pub fn absorb(&mut self, other: MergeStats) {
+        self.fresh += other.fresh;
+        self.duplicates += other.duplicates;
+    }
+}
+
+/// [`MergeableAccumulator`] relaxed from exactly-once to **at-least-once**
+/// delivery — the work-distribution seam, where a lease that expired and was
+/// re-issued can legitimately arrive twice.
+///
+/// `try_merge_dedup` unions `other` into `self`: slots only one side holds
+/// are folded in as fresh; a slot both sides hold is fine *iff* the two
+/// values are bit-identical (honest re-execution reproduces the bits exactly
+/// because trial results are position-addressed functions of the trial
+/// coordinates alone) and is discarded as a duplicate. Conflicting
+/// duplicates mean the operands did not run the same code on the same
+/// coordinates, and are an error — never silently resolved.
+pub trait DedupMergeableAccumulator: MergeableAccumulator {
+    /// Folds `other` into `self`, discarding bit-identical duplicate slots;
+    /// errors on incompatible shapes or conflicting duplicate values,
+    /// leaving `self` unspecified-but-valid.
+    fn try_merge_dedup(&mut self, other: Self) -> Result<MergeStats, String>;
+}

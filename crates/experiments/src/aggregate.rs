@@ -11,6 +11,7 @@
 
 use crate::summary::{Metric, TrialSummary};
 use contention_core::algorithm::AlgorithmKind;
+use contention_core::merge::{DedupMergeableAccumulator, MergeStats};
 use contention_core::util::percent_change;
 use contention_sim::engine::{Accumulator, FoldedCell, MergeableAccumulator};
 use contention_stats::ci::median_ci95;
@@ -164,6 +165,38 @@ impl MetricStats {
                 .map_err(|e| format!("metric {}: {e}", metric.key()))?;
         }
         Ok(())
+    }
+
+    /// Duplicate-tolerant merge for the work-distribution seam (at-least-
+    /// once delivery): metric-wise [`StreamingSample::try_merge_dedup`],
+    /// summing the per-metric fresh/duplicate tallies. Bit-identical
+    /// re-deliveries of a trial are discarded; conflicting ones error.
+    pub fn try_merge_dedup(&mut self, other: MetricStats) -> Result<MergeStats, String> {
+        if self.metrics != other.metrics {
+            return Err(format!(
+                "cannot merge cells collecting different metrics ({:?} vs {:?})",
+                self.metrics, other.metrics
+            ));
+        }
+        let mut stats = MergeStats::default();
+        for ((metric, mine), theirs) in self
+            .metrics
+            .iter()
+            .zip(&mut self.samples)
+            .zip(other.samples)
+        {
+            stats.absorb(
+                mine.try_merge_dedup(theirs)
+                    .map_err(|e| format!("metric {}: {e}", metric.key()))?,
+            );
+        }
+        Ok(stats)
+    }
+}
+
+impl DedupMergeableAccumulator for MetricStats {
+    fn try_merge_dedup(&mut self, other: Self) -> Result<MergeStats, String> {
+        MetricStats::try_merge_dedup(self, other)
     }
 }
 

@@ -176,20 +176,20 @@ impl CheckpointWriter {
         let trials_done = self.base_trials + snap.completed_trials;
         let trials_total = self.base_trials + snap.total_trials;
         let elapsed_secs = snap.elapsed.as_secs_f64();
-        let rate = if elapsed_secs > 0.0 {
-            snap.completed_trials as f64 / elapsed_secs
-        } else {
-            f64::NAN
-        };
+        let rate = guarded_rate(snap.completed_trials as f64, elapsed_secs);
         // ETA from the cost-weighted work rate of *this run's* trials (the
         // base was recorded in an earlier process; its work contributes no
         // rate information): remaining heavy cells weigh in as heavy.
         let work_done = self.work_of(&cells);
         let work_total: f64 = self.grid.cell_costs().iter().sum();
-        let work_rate = if elapsed_secs > 0.0 {
-            (work_done - self.base_work).max(0.0) / elapsed_secs
+        let work_rate = guarded_rate((work_done - self.base_work).max(0.0), elapsed_secs);
+        // Remaining work of zero — finished, or a degenerate zero-cost grid
+        // — is an ETA of zero regardless of the (possibly unknowable) rate.
+        let work_left = (work_total - work_done).max(0.0);
+        let eta_secs = if work_left <= 0.0 {
+            0.0
         } else {
-            f64::NAN
+            guarded_rate(work_left, work_rate)
         };
         let doc = MetricsDoc {
             experiment: self.experiment.clone(),
@@ -201,13 +201,9 @@ impl CheckpointWriter {
             work_total,
             elapsed_secs,
             trials_per_sec: rate,
-            trials_per_sec_per_worker: rate / snap.workers.max(1) as f64,
+            trials_per_sec_per_worker: guarded_rate(rate, snap.workers.max(1) as f64),
             workers: snap.workers,
-            eta_secs: if work_rate > 0.0 {
-                (work_total - work_done).max(0.0) / work_rate
-            } else {
-                f64::NAN
-            },
+            eta_secs,
             checkpoint_seq: seq,
             finished: snap.finished,
         };
@@ -243,6 +239,30 @@ impl SweepMonitor<MetricStats> for CheckpointWriter {
                 );
             }
         }
+    }
+}
+
+/// Denominators below this are "no time / no work observed yet", not a
+/// measurement — a first snapshot can land within the clock's resolution
+/// of the start, and a zero-cost grid has nothing to rate.
+const RATE_EPS: f64 = 1e-9;
+
+/// `numer / denom` when that is a meaningful finite rate; NaN — rendered
+/// `null` in `sweep_metrics/v2` — otherwise. Guards every rate and ETA in
+/// the sidecar: near-zero elapsed time, a `work_total` of zero, and a NaN
+/// propagating through a numerator must all degrade to `null`, never to
+/// `NaN`/`inf` text, because the work-server re-serves the file verbatim
+/// to clients that may be stricter JSON parsers than ours.
+fn guarded_rate(numer: f64, denom: f64) -> f64 {
+    let measurable = denom.is_finite() && denom > RATE_EPS && numer.is_finite();
+    if !measurable {
+        return f64::NAN;
+    }
+    let rate = numer / denom;
+    if rate.is_finite() {
+        rate
+    } else {
+        f64::NAN
     }
 }
 
@@ -343,12 +363,29 @@ pub fn missing_work(state: &ShardState) -> Result<Vec<(usize, Vec<u32>)>, String
     Ok(plan)
 }
 
+/// What [`load_latest`] recovered: the state, its sequence number, and any
+/// recovery warnings the caller should surface (a dangling `latest`
+/// pointer, checkpoints skipped as torn). Warnings are non-fatal by
+/// definition — a valid checkpoint was still found — but silent fallback
+/// hid real damage (a pruned pointer target means the pointer write and
+/// the prune raced, or someone deleted artifacts by hand), so the caller
+/// is expected to print them.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    pub state: ShardState,
+    pub seq: u64,
+    pub warnings: Vec<String>,
+}
+
 /// Loads the newest valid checkpoint under `<out_dir>/checkpoints/` and its
 /// sequence number. The `latest` pointer is tried first; if it is missing,
 /// torn, or names an unreadable/unparseable artifact, every checkpoint in
 /// the directory is tried newest-first (staged `*.tmp` files never match
-/// the artifact suffix, so a write killed mid-stage is invisible).
-pub fn load_latest(out_dir: &Path) -> Result<(ShardState, u64), String> {
+/// the artifact suffix, so a write killed mid-stage is invisible). Falling
+/// back is never silent: each pointer or artifact problem stepped over on
+/// the way to a good checkpoint lands in
+/// [`warnings`](LoadedCheckpoint::warnings), file names included.
+pub fn load_latest(out_dir: &Path) -> Result<LoadedCheckpoint, String> {
     let ckpt_dir = out_dir.join(CHECKPOINT_DIR);
     if !ckpt_dir.is_dir() {
         return Err(format!(
@@ -356,11 +393,42 @@ pub fn load_latest(out_dir: &Path) -> Result<(ShardState, u64), String> {
             ckpt_dir.display()
         ));
     }
-    if let Ok(pointer) = fs::read_to_string(ckpt_dir.join(LATEST_FILE)) {
-        let name = pointer.trim();
-        if let Some(seq) = seq_of_file(name) {
-            if let Ok((state, _)) = load_checkpoint(&ckpt_dir.join(name)) {
-                return Ok((state, seq));
+    let mut warnings = Vec::new();
+    let pointer_path = ckpt_dir.join(LATEST_FILE);
+    match fs::read_to_string(&pointer_path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No pointer at all — a run interrupted before its first
+            // checkpoint completed the pointer write. The scan below is
+            // the normal path, not a recovery; nothing to warn about.
+        }
+        Err(e) => warnings.push(format!(
+            "cannot read checkpoint pointer {}: {e} — recovering from the \
+             newest surviving checkpoint",
+            pointer_path.display()
+        )),
+        Ok(pointer) => {
+            let name = pointer.trim();
+            match seq_of_file(name) {
+                None => warnings.push(format!(
+                    "checkpoint pointer {} names {name:?}, which is not a \
+                     checkpoint file name — recovering from the newest \
+                     surviving checkpoint",
+                    pointer_path.display()
+                )),
+                Some(seq) => match load_checkpoint(&ckpt_dir.join(name)) {
+                    Ok((state, _)) => {
+                        return Ok(LoadedCheckpoint {
+                            state,
+                            seq,
+                            warnings,
+                        })
+                    }
+                    Err(e) => warnings.push(format!(
+                        "checkpoint pointer {} dangles ({e}) — recovering \
+                         from the newest surviving checkpoint",
+                        pointer_path.display()
+                    )),
+                },
             }
         }
     }
@@ -379,8 +447,17 @@ pub fn load_latest(out_dir: &Path) -> Result<(ShardState, u64), String> {
     let mut failures = Vec::new();
     for (seq, path) in found {
         match load_checkpoint(&path) {
-            Ok((state, _)) => return Ok((state, seq)),
-            Err(e) => failures.push(e),
+            Ok((state, _)) => {
+                return Ok(LoadedCheckpoint {
+                    state,
+                    seq,
+                    warnings,
+                })
+            }
+            Err(e) => {
+                warnings.push(format!("skipping torn checkpoint: {e}"));
+                failures.push(e);
+            }
         }
     }
     if failures.is_empty() {
@@ -689,10 +766,11 @@ mod tests {
             workers: 1,
             finished: true,
         });
-        let (state, seq) = load_latest(&dir).unwrap();
-        assert_eq!(seq, 0);
-        assert!(state.is_complete(), "base + resume must be complete");
-        let cells = state.into_cells();
+        let loaded = load_latest(&dir).unwrap();
+        assert_eq!(loaded.seq, 0);
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert!(loaded.state.is_complete(), "base + resume must be complete");
+        let cells = loaded.state.into_cells();
         assert_eq!(cells[1].acc.sample(Metric::CwSlots), &[3.0, 9.0]);
         let doc = MetricsDoc::parse(&fs::read_to_string(dir.join(METRICS_FILE)).unwrap()).unwrap();
         assert_eq!((doc.trials_done, doc.trials_total), (4, 4));
@@ -708,10 +786,22 @@ mod tests {
         writer.snapshot(snap(vec![cell(10, vec![1.0, 2.0])], 2, false));
         let ckpt_dir = dir.join(CHECKPOINT_DIR);
 
-        // Pointer names a checkpoint that no longer exists → scan fallback.
+        // Pointer names a checkpoint that no longer exists → scan fallback,
+        // reported (not silent), with the dangling name in the warning.
         fs::write(ckpt_dir.join(LATEST_FILE), "t.ckpt000099.shardstate.json").unwrap();
-        let (_, seq) = load_latest(&dir).unwrap();
-        assert_eq!(seq, 1, "fallback must pick the newest valid checkpoint");
+        let loaded = load_latest(&dir).unwrap();
+        assert_eq!(
+            loaded.seq, 1,
+            "fallback must pick the newest valid checkpoint"
+        );
+        assert!(
+            loaded
+                .warnings
+                .iter()
+                .any(|w| w.contains("t.ckpt000099.shardstate.json")),
+            "{:?}",
+            loaded.warnings
+        );
 
         // Newest artifact truncated mid-write → next-newest wins.
         fs::write(ckpt_dir.join(checkpoint_file_name("t", 1)), "{\"schema\": ").unwrap();
@@ -721,14 +811,112 @@ mod tests {
             "garbage",
         )
         .unwrap();
-        let (state, seq) = load_latest(&dir).unwrap();
-        assert_eq!(seq, 0);
-        assert_eq!(state.cells.len(), 1);
+        let loaded = load_latest(&dir).unwrap();
+        assert_eq!(loaded.seq, 0);
+        assert_eq!(loaded.state.cells.len(), 1);
+        assert!(
+            loaded.warnings.iter().any(|w| w.contains("torn")),
+            "{:?}",
+            loaded.warnings
+        );
 
         // Nothing valid at all → an error naming the failures.
         fs::write(ckpt_dir.join(checkpoint_file_name("t", 0)), "also torn").unwrap();
         let err = load_latest(&dir).unwrap_err();
         assert!(err.contains("no valid checkpoint"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_pointer_target_is_reported_and_highest_surviving_seq_recovers() {
+        // Regression: `repro resume` silently fell back when the `latest`
+        // pointer named a pruned/missing checkpoint. Deleting the pointed-at
+        // file must (a) still recover — from the highest surviving sequence
+        // number — and (b) surface a warning naming the missing file.
+        let dir = scratch_dir("dangling");
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        for i in 0..3usize {
+            writer.snapshot(snap(vec![cell(10, vec![1.0, 2.0])], 2, i == 2));
+        }
+        let ckpt_dir = dir.join(CHECKPOINT_DIR);
+        let pointed = checkpoint_file_name("t", 2);
+        assert_eq!(
+            fs::read_to_string(ckpt_dir.join(LATEST_FILE))
+                .unwrap()
+                .trim(),
+            pointed
+        );
+        fs::remove_file(ckpt_dir.join(&pointed)).unwrap();
+
+        let loaded = load_latest(&dir).unwrap();
+        assert_eq!(loaded.seq, 1, "highest surviving checkpoint must win");
+        assert_eq!(loaded.state.cells.len(), 1);
+        assert!(
+            loaded.warnings.iter().any(|w| w.contains(&pointed)),
+            "warning must name the dangling file: {:?}",
+            loaded.warnings
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_sidecar_never_emits_nan_or_inf_on_zero_elapsed_time() {
+        // A snapshot can land within the clock's resolution of the start:
+        // every rate is unknowable, so the sidecar must say `null` — never
+        // the JSON-invalid `NaN`/`inf` tokens, because the work-server
+        // re-serves these bytes verbatim to arbitrary clients.
+        let dir = scratch_dir("degen-elapsed");
+        let writer = CheckpointWriter::new(&dir, "t", false, tiny_grid()).unwrap();
+        writer.snapshot(SweepSnapshot {
+            cells: vec![cell(10, vec![1.0, f64::NAN])],
+            completed_trials: 1,
+            total_trials: 4,
+            elapsed: Duration::ZERO,
+            workers: 1,
+            finished: false,
+        });
+        let text = fs::read_to_string(dir.join(METRICS_FILE)).unwrap();
+        assert!(
+            !text.contains("NaN") && !text.contains("inf"),
+            "degenerate rates leaked into the sidecar:\n{text}"
+        );
+        let doc = MetricsDoc::parse(&text).unwrap();
+        assert!(doc.trials_per_sec.is_nan());
+        assert!(doc.trials_per_sec_per_worker.is_nan());
+        assert!(
+            doc.eta_secs.is_nan(),
+            "work remains but the rate is unknown"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_sidecar_never_emits_nan_or_inf_on_zero_total_work() {
+        // A zero-trial grid has work_total == 0: nothing may divide by it,
+        // and with no work left the ETA is zero, not NaN or infinity.
+        let dir = scratch_dir("degen-zerowork");
+        let grid = GridMeta {
+            trials: 0,
+            ..tiny_grid()
+        };
+        let writer = CheckpointWriter::new(&dir, "t", false, grid).unwrap();
+        writer.snapshot(SweepSnapshot {
+            cells: Vec::new(),
+            completed_trials: 0,
+            total_trials: 0,
+            elapsed: Duration::from_secs(1),
+            workers: 1,
+            finished: true,
+        });
+        let text = fs::read_to_string(dir.join(METRICS_FILE)).unwrap();
+        assert!(
+            !text.contains("NaN") && !text.contains("inf"),
+            "degenerate rates leaked into the sidecar:\n{text}"
+        );
+        let doc = MetricsDoc::parse(&text).unwrap();
+        assert_eq!(doc.work_total, 0.0);
+        assert_eq!(doc.eta_secs, 0.0, "no work left means ETA zero");
+        assert_eq!(doc.trials_per_sec, 0.0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -74,6 +74,24 @@ pub fn run(args: &[String]) -> ExitCode {
     if sub == "resume" {
         return run_resume(&opts);
     }
+    if sub == "serve" {
+        return match crate::server::Server::serve(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if sub == "work" {
+        return match crate::worker::run_worker(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if sub == "bench" {
         let started = std::time::Instant::now();
         match crate::benchmark::run(&opts) {
@@ -128,7 +146,11 @@ pub fn run(args: &[String]) -> ExitCode {
 }
 
 /// Writes a report's CSV (and optionally JSON) artifacts into `dir`.
-fn write_report_artifacts(report: &Report, dir: &Path, json: bool) -> Result<(), String> {
+pub(crate) fn write_report_artifacts(
+    report: &Report,
+    dir: &Path,
+    json: bool,
+) -> Result<(), String> {
     report.write_csv(dir)?;
     if json {
         report.write_json(dir)?;
@@ -189,13 +211,19 @@ fn run_checkpointed(sub: &str, opts: &Options) -> ExitCode {
 /// reports into `DIR` — byte-identical to an uninterrupted run.
 fn run_resume(opts: &Options) -> ExitCode {
     let dir = Path::new(&opts.inputs[0]);
-    let (state, seq) = match checkpoint::load_latest(dir) {
+    let loaded = match checkpoint::load_latest(dir) {
         Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Recovery that stepped over damage (a dangling `latest` pointer, torn
+    // artifacts) still works — but never silently.
+    for warning in &loaded.warnings {
+        eprintln!("warning: {warning}");
+    }
+    let (state, seq) = (loaded.state, loaded.seq);
     let Some(entry) = find_shardable(&state.experiment) else {
         eprintln!(
             "error: checkpoint names unknown experiment {:?}",
@@ -404,6 +432,9 @@ fn print_usage() {
     println!("       repro merge DIR... --out DIR [--json]            (recombine + report)");
     println!("       repro <experiment> --checkpoint --out DIR        (crash-safe long run)");
     println!("       repro resume DIR [--json]                        (continue from checkpoint)");
+    println!("       repro serve <experiment> --out DIR [--json] [--port P] [--leases N]");
+    println!("                   [--lease-secs S] [--linger-secs S]   (distributed coordinator)");
+    println!("       repro work --connect HOST:PORT [--threads N]     (pull-based worker)");
     println!();
     println!("  --full      use the paper's grids (minutes) instead of quick ones (seconds);");
     println!("              prints trials-completed progress + ETA to stderr when it is a TTY");
@@ -421,6 +452,23 @@ fn print_usage() {
     println!("  --checkpoint-secs N    snapshot every N seconds (implies --checkpoint)");
     println!("  --checkpoint-trials N  snapshot every N completed trials (implies it too;");
     println!("                         resumed reports are byte-identical to uninterrupted)");
+    println!(
+        "  --port P        serve: listen port (default {}; 0 = ephemeral)",
+        crate::server::DEFAULT_PORT
+    );
+    println!(
+        "  --leases N      serve: cut the sweep into N cost-weighted leases (default {})",
+        crate::server::DEFAULT_LEASES
+    );
+    println!(
+        "  --lease-secs S  serve: re-issue a lease not completed within S s (default {})",
+        crate::server::DEFAULT_LEASE_SECS
+    );
+    println!(
+        "  --linger-secs S serve: answer `done` for S s after completion (default {})",
+        crate::server::DEFAULT_LINGER_SECS
+    );
+    println!("  --connect H:P   work: the coordinator to pull leases from");
     println!();
     println!("experiments:");
     for (name, desc, _) in registry() {

@@ -22,7 +22,9 @@ use crate::options::Options;
 use crate::shard::GridMeta;
 
 /// One shardable experiment: the sweep-grid description plus the two
-/// halves of its figure pipeline.
+/// halves of its figure pipeline. `Copy` (it is three fn pointers and a
+/// static name) so the work-server can hold one across threads.
+#[derive(Clone, Copy)]
 pub struct ShardableEntry {
     /// Registry subcommand name (`fig5`, `scale`, …).
     pub name: &'static str,

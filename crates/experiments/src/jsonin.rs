@@ -28,6 +28,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -91,14 +92,35 @@ impl Json {
     }
 }
 
+/// Deepest container nesting `parse` accepts. The parser is recursive
+/// descent, so unbounded nesting is unbounded stack — and a hostile
+/// document (the work-server parses POSTs off the network) can pack one
+/// nesting level per *byte*. Our artifacts nest a handful of levels;
+/// 128 is comfortably past any honest document while keeping the stack
+/// shallow.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn fail(&self, what: &str) -> String {
         format!("JSON error at byte {}: {what}", self.pos)
+    }
+
+    /// Runs one container parse a level deeper, enforcing [`MAX_DEPTH`]
+    /// with a clean error instead of a stack overflow.
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.fail(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
     }
 
     fn peek(&self) -> Option<u8> {
@@ -135,8 +157,8 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.fail("expected a value")),
         }
@@ -345,6 +367,29 @@ mod tests {
         assert!(Json::parse("-1").unwrap().as_u32().is_err());
         assert!(Json::parse("1.5").unwrap().as_u32().is_err());
         assert!(Json::parse("4294967296").unwrap().as_u32().is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_cleanly_instead_of_overflowing_the_stack() {
+        // Regression: the recursive-descent parser had no depth limit, so a
+        // 10⁵-deep document (one level per two bytes — trivially cheap for
+        // an attacker POSTing to the work-server) overflowed the stack. It
+        // must now be a clean parse error.
+        for doc in [
+            "[".repeat(100_000) + &"]".repeat(100_000),
+            "{\"k\":".repeat(100_000) + "1" + &"}".repeat(100_000),
+        ] {
+            let err = Json::parse(&doc).expect_err("deep nesting must not parse");
+            assert!(err.contains("nesting deeper than"), "{err}");
+        }
+        // Honest documents stay well inside the cap: 100 levels parse fine.
+        let ok = "[".repeat(100) + "0" + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+        // And the cap is exact: MAX_DEPTH levels parse, MAX_DEPTH + 1 do not.
+        let at_cap = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&at_cap).is_ok());
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

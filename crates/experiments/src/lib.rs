@@ -31,6 +31,13 @@
 //!   `metrics.json` live-progress sidecar; `repro resume DIR` reloads the
 //!   newest valid checkpoint and runs only the missing trials, byte-identical
 //!   to an uninterrupted run.
+//! * [`server`] — the `repro serve` coordinator: cuts a sweep into
+//!   cost-weighted per-trial leases, hands them to pull-based workers over
+//!   minimal HTTP (the `shard_state/v1` artifact *is* the wire format),
+//!   folds posted results with duplicate-trial dedup, and writes the same
+//!   byte-identical artifacts a single-process run would.
+//! * [`worker`] — the `repro work` half: claims leases, runs exactly the
+//!   leased trials through the shared engine path, POSTs artifacts back.
 //! * [`options`] — the `repro` CLI options (quick vs `--full` paper grids,
 //!   `--threads` / `--batch` execution knobs).
 //! * [`cli`] — the `repro` entry point; the binary itself lives in the
@@ -46,10 +53,12 @@ pub mod fsutil;
 pub mod jsonin;
 pub mod jsonout;
 pub mod options;
+pub mod server;
 pub mod shard;
 pub mod summary;
 pub mod sweep;
 pub mod table;
+pub mod worker;
 
 pub use options::Options;
 pub use summary::TrialSummary;

@@ -62,8 +62,24 @@ pub struct Options {
     /// `--checkpoint[-secs/-trials]`: periodically snapshot in-flight state
     /// into `--out/checkpoints/` (and refresh `metrics.json`).
     pub checkpoint: Option<CheckpointOpts>,
+    /// `--port P`: TCP port the `serve` coordinator listens on (`0` = an
+    /// ephemeral port, printed at startup — what tests use).
+    pub port: Option<u16>,
+    /// `--connect HOST:PORT`: the coordinator a `work` process pulls
+    /// leases from.
+    pub connect: Option<String>,
+    /// `--lease-secs N`: how long `serve` waits for a claimed lease's
+    /// results before re-issuing it to another worker.
+    pub lease_secs: Option<u64>,
+    /// `--leases N`: how many leases `serve` cuts the sweep into (the
+    /// fleet-size knob: a few per expected worker keeps everyone busy).
+    pub leases: Option<usize>,
+    /// `--linger-secs N`: how long a finished `serve` keeps answering
+    /// `done` before exiting, so slow workers learn the run is over.
+    pub linger_secs: Option<u64>,
     /// Positional arguments after the subcommand: the experiment name for
-    /// `shard`, the artifact directories for `merge`. Empty elsewhere.
+    /// `shard`/`serve`, the artifact directories for `merge`. Empty
+    /// elsewhere.
     pub inputs: Vec<String>,
 }
 
@@ -164,6 +180,40 @@ impl Options {
                         .get_or_insert_with(CheckpointOpts::default)
                         .trials = Some(trials);
                 }
+                "--port" => {
+                    let v = it.next().ok_or("--port needs a value")?;
+                    opts.port = Some(v.parse().map_err(|_| format!("bad port {v:?}"))?);
+                }
+                "--connect" => {
+                    let v = it.next().ok_or("--connect needs HOST:PORT")?;
+                    if !v.contains(':') {
+                        return Err(format!("bad --connect address {v:?} (expected HOST:PORT)"));
+                    }
+                    opts.connect = Some(v.clone());
+                }
+                "--lease-secs" => {
+                    let v = it.next().ok_or("--lease-secs needs a value")?;
+                    let secs: u64 = v.parse().map_err(|_| format!("bad lease duration {v:?}"))?;
+                    if secs == 0 {
+                        return Err("--lease-secs must be at least 1".to_string());
+                    }
+                    opts.lease_secs = Some(secs);
+                }
+                "--leases" => {
+                    let v = it.next().ok_or("--leases needs a value")?;
+                    let count: usize = v.parse().map_err(|_| format!("bad lease count {v:?}"))?;
+                    if count == 0 {
+                        return Err("--leases must be at least 1".to_string());
+                    }
+                    opts.leases = Some(count);
+                }
+                "--linger-secs" => {
+                    let v = it.next().ok_or("--linger-secs needs a value")?;
+                    opts.linger_secs = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad linger duration {v:?}"))?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
@@ -213,6 +263,22 @@ impl Options {
         }
         if self.shard.is_some() && sub != "shard" {
             return Err(format!("--shard only applies to `shard`, not {sub:?}"));
+        }
+        // The distributed-run knobs belong to exactly one side of the wire.
+        if sub != "serve" {
+            for (set, flag) in [
+                (self.port.is_some(), "--port"),
+                (self.lease_secs.is_some(), "--lease-secs"),
+                (self.leases.is_some(), "--leases"),
+                (self.linger_secs.is_some(), "--linger-secs"),
+            ] {
+                if set {
+                    return Err(format!("{flag} only applies to `serve`, not {sub:?}"));
+                }
+            }
+        }
+        if self.connect.is_some() && sub != "work" {
+            return Err(format!("--connect only applies to `work`, not {sub:?}"));
         }
         if self.checkpoint.is_some() {
             match sub {
@@ -299,6 +365,65 @@ impl Options {
                         return Err(format!(
                             "{flag} does not apply to `resume` (the grid comes from the \
                              checkpoint artifact)"
+                        ));
+                    }
+                }
+            }
+            "serve" => {
+                // The coordinator runs no trials itself: it cuts the sweep
+                // into leases, folds results, and writes the artifacts.
+                if self.inputs.len() != 1 {
+                    return Err(
+                        "serve needs exactly one experiment, e.g. `repro serve fig5 --out DIR`"
+                            .to_string(),
+                    );
+                }
+                if self.out_dir.is_none() {
+                    return Err("serve needs --out DIR for its checkpoints and reports".to_string());
+                }
+                for (set, flag) in [
+                    (self.threads.is_some(), "--threads"),
+                    (self.batch.is_some(), "--batch"),
+                ] {
+                    if set {
+                        return Err(format!(
+                            "{flag} does not apply to `serve` (workers run the trials; \
+                             pass it to `repro work`)"
+                        ));
+                    }
+                }
+                if self.checkpoint.is_some() {
+                    return Err(
+                        "--checkpoint does not apply to `serve` (it checkpoints on every \
+                         accepted result)"
+                            .to_string(),
+                    );
+                }
+            }
+            "work" => {
+                // A worker learns everything — experiment, grid, trials —
+                // from its leases; only execution knobs make sense here.
+                if self.connect.is_none() {
+                    return Err(
+                        "work needs --connect HOST:PORT, e.g. `repro work --connect \
+                         127.0.0.1:7481`"
+                            .to_string(),
+                    );
+                }
+                if let Some(extra) = self.inputs.first() {
+                    return Err(format!("unexpected extra argument {extra:?}"));
+                }
+                for (set, flag) in [
+                    (self.trials.is_some(), "--trials"),
+                    (self.full, "--full"),
+                    (self.out_dir.is_some(), "--out"),
+                    (self.json, "--json"),
+                    (self.checkpoint.is_some(), "--checkpoint"),
+                ] {
+                    if set {
+                        return Err(format!(
+                            "{flag} does not apply to `work` (the grid and artifacts \
+                             belong to the coordinator)"
                         ));
                     }
                 }
@@ -518,6 +643,90 @@ mod tests {
         assert!(Options::parse(&strs(&["resume", "a", "--out", "/t"])).is_err());
         assert!(Options::parse(&strs(&["resume", "a", "--trials", "5"])).is_err());
         assert!(Options::parse(&strs(&["resume", "a", "--full"])).is_err());
+    }
+
+    #[test]
+    fn serve_mode_takes_one_experiment_and_its_own_knobs() {
+        let (sub, opts) = Options::parse(&strs(&[
+            "serve",
+            "fig5",
+            "--out",
+            "/t/srv",
+            "--trials",
+            "2",
+            "--port",
+            "0",
+            "--lease-secs",
+            "5",
+            "--leases",
+            "8",
+            "--linger-secs",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(sub, "serve");
+        assert_eq!(opts.inputs, vec!["fig5"]);
+        assert_eq!(opts.port, Some(0));
+        assert_eq!(opts.lease_secs, Some(5));
+        assert_eq!(opts.leases, Some(8));
+        assert_eq!(opts.linger_secs, Some(3));
+        // No experiment, no --out, execution knobs, and --checkpoint all
+        // fail up front.
+        assert!(Options::parse(&strs(&["serve", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["serve", "a", "b", "--out", "/t"])).is_err());
+        assert!(Options::parse(&strs(&["serve", "fig5"])).is_err());
+        assert!(
+            Options::parse(&strs(&["serve", "fig5", "--out", "/t", "--threads", "2"])).is_err()
+        );
+        assert!(Options::parse(&strs(&["serve", "fig5", "--out", "/t", "--batch", "8"])).is_err());
+        assert!(Options::parse(&strs(&["serve", "fig5", "--out", "/t", "--checkpoint"])).is_err());
+        // The serve knobs are rejected everywhere else.
+        assert!(Options::parse(&strs(&["fig5", "--port", "7000"])).is_err());
+        assert!(Options::parse(&strs(&["fig5", "--lease-secs", "5"])).is_err());
+        assert!(Options::parse(&strs(&["fig5", "--leases", "4"])).is_err());
+        assert!(Options::parse(&strs(&["fig5", "--linger-secs", "1"])).is_err());
+        // Degenerate values are rejected at parse time.
+        assert!(Options::parse(&strs(&[
+            "serve",
+            "fig5",
+            "--out",
+            "/t",
+            "--lease-secs",
+            "0"
+        ]))
+        .is_err());
+        assert!(Options::parse(&strs(&["serve", "fig5", "--out", "/t", "--leases", "0"])).is_err());
+        assert!(
+            Options::parse(&strs(&["serve", "fig5", "--out", "/t", "--port", "99999"])).is_err()
+        );
+    }
+
+    #[test]
+    fn work_mode_needs_connect_and_rejects_grid_knobs() {
+        let (sub, opts) = Options::parse(&strs(&[
+            "work",
+            "--connect",
+            "127.0.0.1:7481",
+            "--threads",
+            "2",
+            "--batch",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(sub, "work");
+        assert_eq!(opts.connect.as_deref(), Some("127.0.0.1:7481"));
+        assert_eq!(opts.threads, Some(2));
+        // Missing/bad --connect, positional args, and grid/artifact knobs
+        // all fail up front.
+        assert!(Options::parse(&strs(&["work"])).is_err());
+        assert!(Options::parse(&strs(&["work", "--connect", "noport"])).is_err());
+        assert!(Options::parse(&strs(&["work", "fig5", "--connect", "h:1"])).is_err());
+        assert!(Options::parse(&strs(&["work", "--connect", "h:1", "--trials", "3"])).is_err());
+        assert!(Options::parse(&strs(&["work", "--connect", "h:1", "--full"])).is_err());
+        assert!(Options::parse(&strs(&["work", "--connect", "h:1", "--out", "/t"])).is_err());
+        // --connect is meaningless outside `work`.
+        assert!(Options::parse(&strs(&["fig5", "--connect", "h:1"])).is_err());
     }
 
     #[test]

@@ -238,6 +238,110 @@ impl CellRange {
     }
 }
 
+/// A contiguous run `[lo, hi)` of trial indices inside one grid cell — the
+/// unit of *trial*-granular work distribution (a work-server lease is a list
+/// of these).
+///
+/// Where [`CellRange`] splits a grid between processes a whole cell at a
+/// time, a `TrialRange` splits *inside* a cell, so a single giant-`n` cell
+/// can be spread across a fleet of workers. Like cell ranges, trial ranges
+/// change only *which* trials run: per-trial RNG streams depend on
+/// `(experiment, algorithm, n, trial)` alone, so the trials of any tiling
+/// are bit-identical to the same trials of a full run — which is what lets
+/// partial cells merge back losslessly through the accumulator seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRange {
+    /// Full-grid cell index (algorithms outer, `ns` inner).
+    pub cell: usize,
+    /// First trial index covered.
+    pub lo: u32,
+    /// One past the last trial index covered.
+    pub hi: u32,
+}
+
+impl TrialRange {
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Partitions a sparse work plan — `(cell index, trial list)` pairs, the
+    /// same shape sweeps take as a missing-work plan — into at most `target`
+    /// leases of roughly equal estimated cost, each lease a list of trial
+    /// ranges.
+    ///
+    /// `trial_costs[cell]` is the estimated cost of one trial of that cell
+    /// (the [`CostSpec`](crate::cost::CostSpec) per-trial table); lease
+    /// boundaries land where the cost prefix crosses `k/target` of the
+    /// total, so a heavy cell splits across as many leases as its weight
+    /// demands while light neighbours coalesce into one. Junk cost entries
+    /// (non-finite or non-positive, or a missing table entry) count as one
+    /// unit, so a degenerate table degrades to trial-count balancing rather
+    /// than collapsing the partition. The returned leases tile the plan
+    /// exactly, in plan order, with consecutive trials of one cell fused
+    /// into single ranges; empty leases are never emitted, so fewer than
+    /// `target` leases come back when the plan is small.
+    pub fn partition(
+        plan: &[(usize, Vec<u32>)],
+        trial_costs: &[f64],
+        target: usize,
+    ) -> Vec<Vec<TrialRange>> {
+        assert!(target >= 1, "lease target must be at least 1");
+        let sane = |cell: usize| -> f64 {
+            let c = trial_costs.get(cell).copied().unwrap_or(1.0);
+            if c.is_finite() && c > 0.0 {
+                c
+            } else {
+                1.0
+            }
+        };
+        let total: f64 = plan
+            .iter()
+            .map(|(cell, trials)| sane(*cell) * trials.len() as f64)
+            .sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let goal = total / target as f64;
+        let mut leases: Vec<Vec<TrialRange>> = Vec::new();
+        let mut current: Vec<TrialRange> = Vec::new();
+        let mut cum = 0.0f64;
+        let fuse = |lease: &mut Vec<TrialRange>, cell: usize, trial: u32| {
+            if let Some(last) = lease.last_mut() {
+                if last.cell == cell && last.hi == trial {
+                    last.hi = trial + 1;
+                    return;
+                }
+            }
+            lease.push(TrialRange {
+                cell,
+                lo: trial,
+                hi: trial + 1,
+            });
+        };
+        for (cell, trials) in plan {
+            let w = sane(*cell);
+            for &t in trials {
+                fuse(&mut current, *cell, t);
+                cum += w;
+                // Close the lease once the global prefix crosses its share
+                // of the total; the last lease absorbs whatever remains so
+                // the tiling is exact.
+                if leases.len() + 1 < target && cum >= goal * (leases.len() + 1) as f64 {
+                    leases.push(std::mem::take(&mut current));
+                }
+            }
+        }
+        if !current.is_empty() {
+            leases.push(current);
+        }
+        leases
+    }
+}
+
 /// How a sweep executes: worker threads, trials per work-item claim, cell
 /// range, and whether to report progress. Orthogonal to *what* the sweep
 /// computes — results are identical for every policy (a cell range selects a
@@ -1095,6 +1199,101 @@ mod tests {
                 CellRange::shard(9, index, 3)
             );
         }
+    }
+
+    /// A partition must tile its plan exactly: same cells, same trials,
+    /// same order, no overlap. Flattens leases back into plan shape.
+    fn flatten(leases: &[Vec<TrialRange>]) -> Vec<(usize, u32)> {
+        leases
+            .iter()
+            .flatten()
+            .flat_map(|r| (r.lo..r.hi).map(move |t| (r.cell, t)))
+            .collect()
+    }
+
+    fn plan_trials(plan: &[(usize, Vec<u32>)]) -> Vec<(usize, u32)> {
+        plan.iter()
+            .flat_map(|(cell, ts)| ts.iter().map(move |&t| (*cell, t)))
+            .collect()
+    }
+
+    #[test]
+    fn trial_partition_tiles_the_plan_exactly() {
+        let plan = vec![(0usize, vec![0u32, 1, 2]), (2, vec![1, 3]), (5, vec![0])];
+        let costs = [1.0, 1.0, 4.0, 1.0, 1.0, 2.0];
+        for target in 1..=8 {
+            let leases = TrialRange::partition(&plan, &costs, target);
+            assert!(leases.len() <= target, "target {target}");
+            assert!(leases.iter().all(|l| !l.is_empty()));
+            assert_eq!(flatten(&leases), plan_trials(&plan), "target {target}");
+        }
+        // target 1 is a single lease covering everything, with the
+        // consecutive trials of cell 0 fused into one range.
+        let one = TrialRange::partition(&plan, &costs, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(
+            one[0][0],
+            TrialRange {
+                cell: 0,
+                lo: 0,
+                hi: 3
+            }
+        );
+    }
+
+    #[test]
+    fn trial_partition_splits_heavy_cells_and_coalesces_light_ones() {
+        // One cell carries ~94% of the work: it must spread over most of
+        // the leases while the light cells share the remainder.
+        let plan = vec![
+            (0usize, (0..64).collect::<Vec<u32>>()),
+            (1, vec![0, 1]),
+            (2, vec![0, 1]),
+        ];
+        let costs = [16.0, 1.0, 1.0];
+        let leases = TrialRange::partition(&plan, &costs, 4);
+        assert_eq!(leases.len(), 4);
+        let heavy_leases = leases
+            .iter()
+            .filter(|l| l.iter().any(|r| r.cell == 0))
+            .count();
+        assert!(
+            heavy_leases >= 3,
+            "heavy cell should span most leases, spanned {heavy_leases}"
+        );
+        // Estimated cost per lease stays near total/target.
+        let cost_of =
+            |l: &Vec<TrialRange>| -> f64 { l.iter().map(|r| costs[r.cell] * r.len() as f64).sum() };
+        let total: f64 = leases.iter().map(cost_of).sum();
+        let goal = total / 4.0;
+        for l in &leases {
+            assert!(
+                cost_of(l) <= goal + costs[0],
+                "lease cost {} exceeds goal {goal} by more than one heavy trial",
+                cost_of(l)
+            );
+        }
+        assert_eq!(flatten(&leases), plan_trials(&plan));
+    }
+
+    #[test]
+    fn trial_partition_degrades_safely_on_junk_costs_and_empty_plans() {
+        let plan = vec![(0usize, vec![0u32, 1]), (1, vec![0, 1])];
+        // Junk costs count as one unit each: 4 trials over 2 leases = 2 + 2.
+        for costs in [vec![f64::NAN, -1.0], vec![0.0, 0.0], vec![]] {
+            let leases = TrialRange::partition(&plan, &costs, 2);
+            assert_eq!(leases.len(), 2, "costs {costs:?}");
+            assert_eq!(flatten(&leases).len(), 4);
+            assert_eq!(leases[0].iter().map(TrialRange::len).sum::<usize>(), 2);
+        }
+        // An empty plan (or all-empty trial lists) yields no leases at all.
+        assert!(TrialRange::partition(&[], &[1.0], 3).is_empty());
+        assert!(TrialRange::partition(&[(0, vec![])], &[1.0], 3).is_empty());
+        // More leases requested than trials available: every lease that
+        // does come back holds at least one trial.
+        let tiny = TrialRange::partition(&plan, &[1.0, 1.0], 16);
+        assert!(tiny.len() <= 4);
+        assert_eq!(flatten(&tiny), plan_trials(&plan));
     }
 
     /// Counts snapshots and checks the final one is complete and flagged.

@@ -13,7 +13,7 @@
 //!   and commutative, so this stays deterministic too. For sweeps that only
 //!   need bounds or a completion count.
 
-use contention_core::merge::MergeableAccumulator;
+use contention_core::merge::{DedupMergeableAccumulator, MergeStats, MergeableAccumulator};
 
 /// A flat per-trial sample buffer addressed by trial index.
 ///
@@ -111,8 +111,50 @@ impl StreamingSample {
         Ok(())
     }
 
+    /// Duplicate-tolerant merge for *at-least-once* delivery — the
+    /// work-distribution seam, where an expired-and-reissued lease can
+    /// arrive from two workers. Unions `other`'s filled slots into `self`;
+    /// a slot both sides filled is discarded as a duplicate *iff* the two
+    /// values are bit-identical (position-addressed RNG streams make honest
+    /// re-execution reproduce the bits exactly), and is an error otherwise
+    /// — a conflicting duplicate means the operands did not run the same
+    /// code on the same trial coordinates.
+    pub fn try_merge_dedup(&mut self, other: StreamingSample) -> Result<MergeStats, String> {
+        if self.values.len() != other.values.len() {
+            return Err(format!(
+                "cannot merge samples of {} and {} trials",
+                self.values.len(),
+                other.values.len()
+            ));
+        }
+        let mut stats = MergeStats::default();
+        for (trial, (slot, value)) in self.values.iter_mut().zip(&other.values).enumerate() {
+            if value.is_nan() {
+                continue;
+            }
+            if slot.is_nan() {
+                *slot = *value;
+                stats.fresh += 1;
+            } else if slot.to_bits() == value.to_bits() {
+                stats.duplicates += 1;
+            } else {
+                return Err(format!(
+                    "trial {trial} recorded conflicting values ({slot} vs {value}) — \
+                     operands did not run identical code"
+                ));
+            }
+        }
+        Ok(stats)
+    }
+
     /// Bytes this collector retains per trial: one `f64`.
     pub const BYTES_PER_TRIAL: usize = std::mem::size_of::<f64>();
+}
+
+impl DedupMergeableAccumulator for StreamingSample {
+    fn try_merge_dedup(&mut self, other: Self) -> Result<MergeStats, String> {
+        StreamingSample::try_merge_dedup(self, other)
+    }
 }
 
 impl MergeableAccumulator for StreamingSample {
@@ -268,6 +310,32 @@ mod tests {
         assert_eq!(a.count(), 4);
         assert_eq!(a.min(), -1.0);
         assert_eq!(a.max(), 7.5);
+    }
+
+    #[test]
+    fn dedup_merge_discards_identical_duplicates_and_rejects_conflicts() {
+        // Overlapping fills with bit-identical values: the overlap is
+        // counted as duplicates, the rest folds in as fresh.
+        let mut a = StreamingSample::new(4);
+        a.record(0, 1.0);
+        a.record(1, 2.0);
+        let mut b = StreamingSample::new(4);
+        b.record(1, 2.0);
+        b.record(2, 3.0);
+        let stats = a.try_merge_dedup(b).unwrap();
+        assert_eq!((stats.fresh, stats.duplicates), (1, 1));
+        assert_eq!(a.raw()[..3], [1.0, 2.0, 3.0]);
+        // A conflicting duplicate is an error naming the trial.
+        let mut c = StreamingSample::new(4);
+        c.record(1, 9.0);
+        let err = a.try_merge_dedup(c).unwrap_err();
+        assert!(err.contains("trial 1"), "{err}");
+        assert!(err.contains("conflicting"), "{err}");
+        // Shape mismatches still error like the strict merge.
+        assert!(a
+            .try_merge_dedup(StreamingSample::new(3))
+            .unwrap_err()
+            .contains("cannot merge"));
     }
 
     #[test]
